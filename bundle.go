@@ -1,0 +1,143 @@
+package trout
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// Snapshot is a live queue view used for deployment-side prediction.
+type Snapshot = features.Snapshot
+
+// Bundle is everything the prediction CLI needs: the trained hierarchical
+// model, the runtime predictor that feeds its Pred-Runtime features, and
+// the cluster description the features were engineered against.
+type Bundle struct {
+	Model   *core.Model
+	Runtime *features.RuntimePredictor
+	Cluster ClusterSpec
+}
+
+// NewBundle assembles a deployment bundle from a trained model and the
+// dataset it was trained on.
+func NewBundle(m *Model, ds *Dataset, cluster *ClusterSpec) (*Bundle, error) {
+	if m == nil || ds == nil || ds.Runtime == nil || cluster == nil {
+		return nil, fmt.Errorf("trout: bundle needs a model, dataset with runtime predictor, and cluster")
+	}
+	return &Bundle{Model: m, Runtime: ds.Runtime, Cluster: *cluster}, nil
+}
+
+// PredictSnapshot runs Algorithm 1 on a live queue snapshot.
+func (b *Bundle) PredictSnapshot(snap *Snapshot) (Prediction, error) {
+	row, err := features.SnapshotRow(snap, &b.Cluster, b.Runtime)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return b.Model.Predict(row), nil
+}
+
+// FeatureRow exposes the engineered feature vector for a snapshot (used by
+// the dashboard service's debugging endpoint).
+func (b *Bundle) FeatureRow(snap *Snapshot) ([]float64, error) {
+	return features.SnapshotRow(snap, &b.Cluster, b.Runtime)
+}
+
+// SnapshotFromTrace reconstructs the queue state a trace job observed at
+// its eligibility instant — what the CLI does when pointed at an accounting
+// file and a job ID.
+func SnapshotFromTrace(tr *Trace, jobID int) (*Snapshot, error) {
+	var target *Job
+	for i := range tr.Jobs {
+		if tr.Jobs[i].ID == jobID {
+			target = &tr.Jobs[i]
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("trout: job %d not found in trace", jobID)
+	}
+	t := target.Eligible
+	snap := &Snapshot{Now: t, Target: *target}
+	for i := range tr.Jobs {
+		j := tr.Jobs[i]
+		if j.ID != jobID {
+			switch {
+			case j.Eligible <= t && t < j.Start:
+				snap.Pending = append(snap.Pending, j)
+			case j.Start <= t && t < j.End:
+				snap.Running = append(snap.Running, j)
+			}
+		}
+		// The target's own submission belongs in its user history when
+		// it predates the prediction instant (dependency-held jobs).
+		if j.Submit >= t-86400 && j.Submit < t {
+			snap.History = append(snap.History, j)
+		}
+	}
+	return snap, nil
+}
+
+// bundleDTO is the gob wire form of a Bundle.
+type bundleDTO struct {
+	Model   []byte
+	Runtime []byte
+	Cluster ClusterSpec
+}
+
+// Save writes the bundle.
+func (b *Bundle) Save(w io.Writer) error {
+	var mb bytes.Buffer
+	if err := b.Model.Save(&mb); err != nil {
+		return err
+	}
+	rb, err := b.Runtime.Bytes()
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(bundleDTO{Model: mb.Bytes(), Runtime: rb, Cluster: b.Cluster})
+}
+
+// LoadBundle reads a bundle written by Save.
+func LoadBundle(r io.Reader) (*Bundle, error) {
+	var dto bundleDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("trout: load bundle: %w", err)
+	}
+	m, err := core.Load(bytes.NewReader(dto.Model))
+	if err != nil {
+		return nil, err
+	}
+	rp, err := features.RuntimePredictorFromBytes(dto.Runtime)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{Model: m, Runtime: rp, Cluster: dto.Cluster}, nil
+}
+
+// SaveFile writes the bundle to a path.
+func (b *Bundle) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := b.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBundleFile reads a bundle from a path.
+func LoadBundleFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBundle(f)
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/slurmsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, seed := range []int64{1, 2, 3} {
+		cluster := slurmsim.AnvilLike(1)
+		cfg := workload.DefaultConfig(60000, seed)
+		specs, _ := workload.Generate(cfg, &cluster)
+		t0 := time.Now()
+		tr, st, _ := slurmsim.Run(slurmsim.DefaultConfig(1), specs)
+		fmt.Printf("seed=%d short=%.3f preemptions=%d elapsed=%v\n",
+			seed, tr.ShortQueueFraction(600), st.Preemptions, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,139 @@
+// Command trout is the paper's prediction CLI (Algorithm 1): given a
+// trained bundle and a job, it prints either "Predicted to take less than
+// 10 minutes" or "Predicted to start in N minutes".
+//
+// Two modes:
+//
+//	# Predict for an existing job in an accounting trace (the queue state
+//	# is reconstructed at the job's eligibility instant):
+//	trout -bundle trout.bundle -trace trace.csv -job 4211
+//
+//	# Hypothetical job (§V future work): describe a job you have not
+//	# submitted yet against the queue state in the trace at a given time:
+//	trout -bundle trout.bundle -trace trace.csv -at 1700100000 \
+//	      -partition shared -cpus 16 -mem 32 -nodes 1 -limit 240 -user 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	trout "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trout: ")
+	var (
+		bundlePath = flag.String("bundle", "trout.bundle", "trained bundle from trout-train")
+		tracePath  = flag.String("trace", "", "accounting trace supplying queue state")
+		jobID      = flag.Int("job", 0, "predict this existing job ID")
+		at         = flag.Int64("at", 0, "hypothetical mode: prediction instant (unix seconds)")
+		partition  = flag.String("partition", "shared", "hypothetical job partition")
+		cpus       = flag.Int("cpus", 16, "hypothetical requested CPUs")
+		memGB      = flag.Float64("mem", 32, "hypothetical requested memory (GB)")
+		nodes      = flag.Int("nodes", 1, "hypothetical requested nodes")
+		gpus       = flag.Int("gpus", 0, "hypothetical requested GPUs")
+		limitMin   = flag.Int64("limit", 240, "hypothetical time limit (minutes)")
+		user       = flag.Int("user", 0, "hypothetical submitting user ID")
+		priority   = flag.Int64("priority", 0, "hypothetical Slurm priority (0 = median of queue)")
+		verbose    = flag.Bool("v", false, "print classifier probability and regression detail")
+	)
+	flag.Parse()
+
+	b, err := trout.LoadBundleFile(*bundlePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tracePath == "" {
+		log.Fatal("need -trace for queue state")
+	}
+	tr, err := readTrace(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var snap *trout.Snapshot
+	if *jobID != 0 {
+		snap, err = trout.SnapshotFromTrace(tr, *jobID)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *at != 0 {
+		snap = hypotheticalSnapshot(tr, *at, trace.Job{
+			ID: -1, User: *user, Partition: *partition,
+			Submit: *at, Eligible: *at,
+			ReqCPUs: *cpus, ReqMemGB: *memGB, ReqNodes: *nodes, ReqGPUs: *gpus,
+			TimeLimit: *limitMin * 60, Priority: *priority,
+		})
+	} else {
+		log.Fatal("need -job <id> or -at <time> (hypothetical mode)")
+	}
+
+	pred, err := b.PredictSnapshot(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pred.Message(b.Model.Cfg.CutoffMinutes))
+	if *verbose {
+		fmt.Printf("classifier P(long) = %.4f\n", pred.Prob)
+		if pred.Long {
+			fmt.Printf("regression estimate = %.1f minutes\n", pred.Minutes)
+		}
+		fmt.Printf("queue state: %d pending, %d running in snapshot\n",
+			len(snap.Pending), len(snap.Running))
+	}
+}
+
+// hypotheticalSnapshot reconstructs queue state at an arbitrary instant and
+// injects the hypothetical job as the target.
+func hypotheticalSnapshot(tr *trout.Trace, at int64, target trace.Job) *trout.Snapshot {
+	snap := &trout.Snapshot{Now: at, Target: target}
+	var prios []int64
+	for i := range tr.Jobs {
+		j := tr.Jobs[i]
+		switch {
+		case j.Eligible <= at && at < j.Start:
+			snap.Pending = append(snap.Pending, j)
+			prios = append(prios, j.Priority)
+		case j.Start <= at && at < j.End:
+			snap.Running = append(snap.Running, j)
+		}
+		if j.Submit >= at-86400 && j.Submit < at {
+			snap.History = append(snap.History, j)
+		}
+	}
+	if target.Priority == 0 && len(prios) > 0 {
+		// Default a fresh job's priority to the pending median.
+		for i := range prios {
+			for k := i + 1; k < len(prios); k++ {
+				if prios[k] < prios[i] {
+					prios[i], prios[k] = prios[k], prios[i]
+				}
+			}
+		}
+		snap.Target.Priority = prios[len(prios)/2]
+	}
+	return snap
+}
+
+func readTrace(path string) (*trout.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".jsonl"):
+		return trace.ReadJSONL(f)
+	case strings.HasSuffix(path, ".sacct"), strings.HasSuffix(path, ".txt"):
+		// Real Slurm accounting dumps: sacct --parsable2 output.
+		return trace.ReadSacct(f)
+	default:
+		return trace.ReadCSV(f)
+	}
+}

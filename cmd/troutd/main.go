@@ -1,0 +1,76 @@
+// Command troutd serves queue-time predictions over HTTP — the paper's §V
+// plan to "integrate this into a user dashboard tool". It loads a trained
+// bundle and an initial queue state, then answers Algorithm 1 queries.
+//
+//	troutd -bundle trout.bundle -state trace.csv -addr :8642
+//
+//	curl localhost:8642/health
+//	curl localhost:8642/predict?job=4211
+//	curl -X POST localhost:8642/predict -d '{"at":1700500000,"job":{"user":7,
+//	     "partition":"shared","req_cpus":16,"req_mem_gb":32,"req_nodes":1,
+//	     "time_limit":14400}}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	trout "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("troutd: ")
+	var (
+		bundlePath = flag.String("bundle", "trout.bundle", "trained bundle")
+		statePath  = flag.String("state", "", "initial queue state (csv/jsonl trace)")
+		addr       = flag.String("addr", ":8642", "listen address")
+	)
+	flag.Parse()
+
+	b, err := trout.LoadBundleFile(*bundlePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr *trout.Trace
+	if *statePath != "" {
+		f, err := os.Open(*statePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(*statePath, ".jsonl") {
+			tr, err = trace.ReadJSONL(f)
+		} else {
+			tr, err = trace.ReadCSV(f)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	svc, err := trout.NewService(b, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      svc.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Printf("serving on %s (cutoff %.0f min, %d queue jobs)",
+		*addr, b.Model.Cfg.CutoffMinutes, queueLen(tr))
+	log.Fatal(srv.ListenAndServe())
+}
+
+func queueLen(tr *trout.Trace) int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.Jobs)
+}

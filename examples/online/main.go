@@ -1,0 +1,98 @@
+// Online deployment evaluation: replays the most recent slice of the trace
+// as if TROUT were running in production — every job gets a prediction from
+// a live queue snapshot at its eligibility instant (no completed-record
+// features), and rolling accuracy is reported as the replay advances. This
+// is the deployment loop the paper's CLI serves, measured end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trout "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p := trout.DefaultPipeline(10000, 33)
+	p.Model.Classifier.Epochs = 10
+	p.Model.Regressor.Epochs = 20
+	fmt.Println("training on history, replaying the most recent 10% live...")
+	tr, cluster, err := p.GenerateTrace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := p.BuildDataset(tr, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _, err := trout.TrainHoldout(ds, p.Model, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := trout.NewBundle(m, ds, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the last 10 % of jobs in eligibility order.
+	start := ds.Len() - ds.Len()/10
+	var (
+		total, correct     int
+		longTotal, longHit int
+		sumAbsPct          float64
+		regressed          int
+	)
+	for k, i := 0, start; i < ds.Len(); i, k = i+1, k+1 {
+		job := ds.Jobs[i]
+		snap, err := trout.SnapshotFromTrace(tr, job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := bundle.PredictSnapshot(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := ds.QueueMinutes[i]
+		actualLong := actual >= m.Cfg.CutoffMinutes
+
+		total++
+		if pred.Long == actualLong {
+			correct++
+		}
+		if actualLong {
+			longTotal++
+			if pred.Long {
+				longHit++
+				den := actual
+				if den < 1 {
+					den = 1
+				}
+				diff := pred.Minutes - actual
+				if diff < 0 {
+					diff = -diff
+				}
+				sumAbsPct += 100 * diff / den
+				regressed++
+			}
+		}
+		if k%200 == 199 {
+			fmt.Printf("  after %4d jobs: classifier %.1f%% correct, long-job recall %.1f%%\n",
+				total, 100*float64(correct)/float64(total), recall(longHit, longTotal))
+		}
+	}
+	fmt.Printf("\nreplay complete: %d jobs\n", total)
+	fmt.Printf("classifier routing accuracy: %.2f%%\n", 100*float64(correct)/float64(total))
+	fmt.Printf("long-job recall: %.2f%% (%d of %d)\n", recall(longHit, longTotal), longHit, longTotal)
+	if regressed > 0 {
+		fmt.Printf("regression MAPE on correctly-routed long jobs: %.2f%%\n", sumAbsPct/float64(regressed))
+	}
+}
+
+func recall(hit, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(hit) / float64(total)
+}

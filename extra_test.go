@@ -1,0 +1,406 @@
+package trout_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	trout "repro"
+	"repro/internal/core"
+	"repro/internal/tscv"
+)
+
+func TestErrorByBin(t *testing.T) {
+	e := sharedExperiment(t)
+	bins, err := e.RunErrorByBin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) == 0 {
+		t.Fatal("no bins")
+	}
+	total := 0
+	for _, b := range bins {
+		if b.HiMinutes != b.LoMinutes*10 {
+			t.Fatalf("bad decade [%v, %v)", b.LoMinutes, b.HiMinutes)
+		}
+		if math.IsNaN(b.MAPE) {
+			t.Fatal("NaN bin MAPE")
+		}
+		total += b.N
+	}
+	if total == 0 {
+		t.Fatal("bins cover no jobs")
+	}
+}
+
+func TestFeatureGroupsCoverAllColumns(t *testing.T) {
+	seen := map[int]bool{}
+	for _, g := range trout.FeatureGroups() {
+		if len(g.Columns) == 0 {
+			t.Fatalf("group %q resolves no columns", g.Name)
+		}
+		for _, c := range g.Columns {
+			if seen[c] {
+				t.Fatalf("column %d in two groups", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != len(trout.FeatureNames) {
+		t.Fatalf("groups cover %d of %d columns", len(seen), len(trout.FeatureNames))
+	}
+}
+
+func TestFeatureGroupAblation(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunFeatureGroupAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full model + 7 groups.
+	if len(res) != 8 {
+		t.Fatalf("%d ablation rows", len(res))
+	}
+	if res[0].Dropped != "none" {
+		t.Fatal("first row must be the full model")
+	}
+	for _, r := range res {
+		if math.IsNaN(r.MAPE) || r.N == 0 {
+			t.Fatalf("degenerate ablation row %+v", r)
+		}
+	}
+}
+
+func TestOnlineAdaptation(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunOnlineAdaptation(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N == 0 {
+		t.Fatal("no test jobs")
+	}
+	if math.IsNaN(res.StaleMAPE) || math.IsNaN(res.UpdatedMAPE) {
+		t.Fatal("NaN MAPE")
+	}
+	// Fine-tuning must actually change the model.
+	if res.StaleMAPE == res.UpdatedMAPE && res.StaleClassBA == res.UpdatedClassBA {
+		t.Fatal("ContinueTraining changed nothing")
+	}
+}
+
+func TestContinueTrainingErrors(t *testing.T) {
+	e := sharedExperiment(t)
+	m, fold, err := trout.TrainHoldout(e.Data, e.Pipeline.Model, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ContinueTraining(e.Data, fold.Test[:3], 2); err == nil {
+		t.Fatal("tiny update slice accepted")
+	}
+	if err := m.ContinueTraining(e.Data, fold.Test, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestContinueTrainingMovesTowardFreshData(t *testing.T) {
+	// Train on the oldest half, then fine-tune heavily on the newest
+	// quarter; loss on that fresh window must improve.
+	e := sharedExperiment(t)
+	n := e.Data.Len()
+	trainIdx := make([]int, n/2)
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	fresh := make([]int, n/4)
+	for i := range fresh {
+		fresh[i] = n - n/4 + i
+	}
+	m, err := core.Train(e.Data, trainIdx, e.Pipeline.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score in the space the update optimizes: mean |log1p(pred) −
+	// log1p(actual)| over the window's long jobs.
+	logMAE := func() float64 {
+		var s float64
+		n := 0
+		for _, i := range fresh {
+			if e.Data.QueueMinutes[i] < m.Cfg.CutoffMinutes {
+				continue
+			}
+			d := math.Log1p(m.RegressMinutes(e.Data.X[i])) - math.Log1p(e.Data.QueueMinutes[i])
+			s += math.Abs(d)
+			n++
+		}
+		return s / float64(n)
+	}
+	before := logMAE()
+	if err := m.ContinueTraining(e.Data, fresh, 40); err != nil {
+		t.Fatal(err)
+	}
+	after := logMAE()
+	// Trained on the evaluation window itself: the objective must drop.
+	if after >= before {
+		t.Fatalf("fine-tuning on the window did not reduce log-MAE: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestTuneRegressor(t *testing.T) {
+	e := sharedExperiment(t)
+	cfg := e.Pipeline.Model
+	res, err := trout.TuneRegressor(e.Data, cfg, trout.TuneConfig{
+		Trials: 6, Seed: 3, MinEpochs: 1, MaxEpochs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 6 {
+		t.Fatalf("%d trials", res.Trials)
+	}
+	if res.Pruned == 0 {
+		t.Fatal("halving pruned nothing")
+	}
+	if math.IsNaN(res.BestMAPE) || res.BestMAPE <= 0 {
+		t.Fatalf("best MAPE %v", res.BestMAPE)
+	}
+	if len(res.Best.Regressor.Hidden) < 2 || len(res.Best.Regressor.Hidden) > 4 {
+		t.Fatalf("tuned hidden stack %v", res.Best.Regressor.Hidden)
+	}
+	// Tuned config must train.
+	tuned := res.Best
+	tuned.Regressor.Epochs = 2
+	tuned.Classifier.Epochs = 2
+	if _, err := core.Train(e.Data, seqIdx(e.Data.Len()*8/10), tuned); err != nil {
+		t.Fatal(err)
+	}
+	desc := trout.DescribeConfig(res.Best)
+	if !strings.Contains(desc, "regressor") {
+		t.Fatalf("DescribeConfig = %q", desc)
+	}
+}
+
+func seqIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestHoldoutRecentReexport(t *testing.T) {
+	// tscv is internal; the public API goes through TrainHoldout, but the
+	// Fold alias must be usable.
+	f, err := tscv.HoldoutRecent(100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub trout.Fold = f
+	if len(pub.Test) != 20 {
+		t.Fatal("alias broken")
+	}
+}
+
+func TestPartitionBreakdown(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunPartitionBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 3 {
+		t.Fatalf("only %d partitions in breakdown", len(res))
+	}
+	total := 0
+	for _, r := range res {
+		total += r.Jobs
+		if r.ClassBA < 0 || r.ClassBA > 1 {
+			t.Fatalf("bad balanced accuracy %v", r.ClassBA)
+		}
+	}
+	// Partition rows must cover the whole holdout.
+	if total != e.Data.Len()/5 {
+		t.Fatalf("breakdown covers %d jobs, holdout is %d", total, e.Data.Len()/5)
+	}
+	// Sorted by name.
+	for i := 1; i < len(res); i++ {
+		if res[i].Partition < res[i-1].Partition {
+			t.Fatal("breakdown not sorted")
+		}
+	}
+}
+
+func TestRuntimeSourceAblation(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunRuntimeSourceAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d sources", len(res))
+	}
+	names := map[string]bool{}
+	for _, r := range res {
+		names[r.Source] = true
+		if math.IsNaN(r.MAPE) || r.N == 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+	}
+	for _, want := range []string{"forest", "oracle", "requested"} {
+		if !names[want] {
+			t.Fatalf("missing source %s", want)
+		}
+	}
+}
+
+func TestRunSHAP(t *testing.T) {
+	e := sharedExperiment(t)
+	rows, err := e.RunSHAP(5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(trout.FeatureNames) {
+		t.Fatalf("%d SHAP rows", len(rows))
+	}
+	for i, r := range rows {
+		if math.IsNaN(r.MeanAbs) || r.MeanAbs < 0 {
+			t.Fatalf("bad SHAP score %+v", r)
+		}
+		if i > 0 && r.MeanAbs > rows[i-1].MeanAbs {
+			t.Fatal("SHAP rows not sorted")
+		}
+	}
+	// The constant partition features can't matter more than everything
+	// else combined; at minimum the top feature must have nonzero score.
+	if rows[0].MeanAbs == 0 {
+		t.Fatal("all SHAP scores are zero")
+	}
+}
+
+func TestRunIntervals(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunIntervals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N == 0 {
+		t.Fatal("no long jobs")
+	}
+	if res.Coverage < 0 || res.Coverage > 1 {
+		t.Fatalf("coverage %v", res.Coverage)
+	}
+	if res.MeanWidth <= 0 {
+		t.Fatalf("width %v", res.MeanWidth)
+	}
+	if res.Nominal != 0.8 {
+		t.Fatalf("nominal %v", res.Nominal)
+	}
+}
+
+func TestTrainQuantileModelPublic(t *testing.T) {
+	e := sharedExperiment(t)
+	fold, err := tscv.HoldoutRecent(e.Data.Len(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.Pipeline.Model
+	cfg.Regressor.Epochs = 5
+	qm, err := trout.TrainQuantileModel(e.Data, fold.Train, cfg, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := qm.Interval(e.Data.X[fold.Test[0]])
+	if len(iv) != 2 || iv[0] > iv[1] {
+		t.Fatalf("interval %v", iv)
+	}
+}
+
+func TestRunCalibration(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunCalibration(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 10 || res.N == 0 {
+		t.Fatalf("calibration %d bins n=%d", len(res.Bins), res.N)
+	}
+	if res.ECE < 0 || res.ECE > 1 {
+		t.Fatalf("ECE %v", res.ECE)
+	}
+	total := 0
+	for _, b := range res.Bins {
+		total += b.Count
+	}
+	if total != res.N {
+		t.Fatalf("bins cover %d of %d", total, res.N)
+	}
+}
+
+func TestRunTransfer(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N == 0 {
+		t.Fatal("no foreign test jobs")
+	}
+	for _, v := range []float64{res.SourceMAPE, res.ZeroShotMAPE, res.RetrainedMAPE} {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("degenerate MAPE in %+v", res)
+		}
+	}
+	for _, v := range []float64{res.SourceBA, res.ZeroShotBA, res.RetrainedBA} {
+		if v < 0 || v > 1 {
+			t.Fatalf("bad balanced accuracy in %+v", res)
+		}
+	}
+	// Retraining on local history should not be worse than zero-shot on
+	// the classifier (the paper's central transfer claim). Allow slack
+	// for small-sample noise.
+	if res.RetrainedBA < res.ZeroShotBA-0.1 {
+		t.Fatalf("retrained classifier (%.3f) much worse than zero-shot (%.3f)",
+			res.RetrainedBA, res.ZeroShotBA)
+	}
+}
+
+func TestRunSchedulerAblation(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunSchedulerAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d variants", len(res))
+	}
+	for _, r := range res {
+		if r.ShortFraction <= 0 || r.ShortFraction > 1 {
+			t.Fatalf("short fraction %v for %s", r.ShortFraction, r.Name)
+		}
+		if math.IsNaN(r.MAPE) || r.MeanQueueMin < 0 {
+			t.Fatalf("degenerate variant %+v", r)
+		}
+	}
+	// Removing backfill cannot make queues shorter on average.
+	if res[1].MeanQueueMin < res[0].MeanQueueMin*0.8 {
+		t.Fatalf("no-backfill mean queue %.1f much below default %.1f",
+			res[1].MeanQueueMin, res[0].MeanQueueMin)
+	}
+}
+
+func TestRunSchedulerETA(t *testing.T) {
+	e := sharedExperiment(t)
+	res, err := e.RunSchedulerETA(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N == 0 {
+		t.Fatal("no jobs simulated")
+	}
+	if math.IsNaN(res.SimMAPE) || math.IsNaN(res.TroutMAPE) {
+		t.Fatalf("NaN in %+v", res)
+	}
+	if res.SimMAPE <= 0 {
+		t.Fatalf("simulation MAPE %v", res.SimMAPE)
+	}
+}

@@ -1,0 +1,12 @@
+package trout
+
+import (
+	"repro/internal/features"
+	"repro/internal/metrics"
+)
+
+// permImportance adapts the features package's permutation importance to
+// the public experiment API.
+func permImportance(predict func([]float64) float64, X [][]float64, y []float64) []features.Importance {
+	return features.PermutationImportance(predict, X, y, features.Names, metrics.RMSE, 1)
+}

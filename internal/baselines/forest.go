@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest construction.
+type ForestConfig struct {
+	Trees int // 0 means 100
+	Tree  TreeConfig
+	// SampleFraction is the bootstrap size relative to the dataset;
+	// 0 means 1.0 (classic bootstrap with replacement).
+	SampleFraction float64
+	// Workers bounds parallel tree construction; 0 means GOMAXPROCS.
+	Workers int
+	Seed    int64
+}
+
+func (c *ForestConfig) defaults(dim int) {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.SampleFraction <= 0 {
+		c.SampleFraction = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	c.Tree.defaults()
+	if c.Tree.MaxFeatures <= 0 {
+		// Regression default: d/3, at least 1.
+		c.Tree.MaxFeatures = dim / 3
+		if c.Tree.MaxFeatures < 1 {
+			c.Tree.MaxFeatures = 1
+		}
+	}
+}
+
+// Forest is a bagged ensemble of regression trees, built in parallel — the
+// paper uses it both as a queue-time baseline and as the runtime predictor
+// whose output becomes a feature.
+type Forest struct {
+	Cfg   ForestConfig
+	trees []*Tree
+}
+
+// NewForest returns an untrained forest.
+func NewForest(cfg ForestConfig) *Forest { return &Forest{Cfg: cfg} }
+
+// Fit implements Regressor. Trees train concurrently on bootstrap samples;
+// per-tree RNGs are seeded deterministically so results are reproducible
+// regardless of worker interleaving.
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("baselines: forest fit with %d samples, %d targets", len(X), len(y))
+	}
+	f.Cfg.defaults(len(X[0]))
+	n := len(X)
+	sampleN := int(f.Cfg.SampleFraction * float64(n))
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	f.trees = make([]*Tree, f.Cfg.Trees)
+	sem := make(chan struct{}, f.Cfg.Workers)
+	var wg sync.WaitGroup
+	errs := make([]error, f.Cfg.Trees)
+	for ti := 0; ti < f.Cfg.Trees; ti++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ti int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(f.Cfg.Seed + int64(ti)*7919))
+			idx := make([]int, sampleN)
+			for k := range idx {
+				idx[k] = rng.Intn(n)
+			}
+			tcfg := f.Cfg.Tree
+			tcfg.Seed = f.Cfg.Seed + int64(ti)
+			tree := NewTree(tcfg)
+			errs[ti] = tree.FitIndices(X, y, idx, rng)
+			f.trees[ti] = tree
+		}(ti)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor: the mean of tree predictions.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// GBDTConfig controls gradient-boosted tree construction — the stand-in for
+// the paper's XGBoost baseline.
+type GBDTConfig struct {
+	Rounds    int     // boosting rounds; 0 means 100
+	LearnRate float64 // shrinkage; 0 means 0.1
+	Tree      TreeConfig
+	// SubsampleFraction of rows per round (stochastic gradient boosting);
+	// 0 means 1.0.
+	SubsampleFraction float64
+	Seed              int64
+}
+
+func (c *GBDTConfig) defaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.1
+	}
+	if c.SubsampleFraction <= 0 {
+		c.SubsampleFraction = 1
+	}
+	if c.Tree.MaxDepth <= 0 {
+		c.Tree.MaxDepth = 4
+	}
+	c.Tree.defaults()
+}
+
+// GBDT is gradient boosting with squared loss over shallow CART trees.
+type GBDT struct {
+	Cfg   GBDTConfig
+	base  float64
+	trees []*Tree
+}
+
+// NewGBDT returns an untrained booster.
+func NewGBDT(cfg GBDTConfig) *GBDT { return &GBDT{Cfg: cfg} }
+
+// Fit implements Regressor.
+func (g *GBDT) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("baselines: gbdt fit with %d samples, %d targets", len(X), len(y))
+	}
+	g.Cfg.defaults()
+	n := len(X)
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	g.base = s / float64(n)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = g.base
+	}
+	resid := make([]float64, n)
+	rng := rand.New(rand.NewSource(g.Cfg.Seed))
+	g.trees = g.trees[:0]
+	sampleN := int(g.Cfg.SubsampleFraction * float64(n))
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	for round := 0; round < g.Cfg.Rounds; round++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		idx := all
+		if sampleN < n {
+			rng.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
+			idx = all[:sampleN]
+		}
+		tcfg := g.Cfg.Tree
+		tcfg.Seed = g.Cfg.Seed + int64(round)
+		tree := NewTree(tcfg)
+		if err := tree.FitIndices(X, resid, idx, rng); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, tree)
+		for i := range pred {
+			pred[i] += g.Cfg.LearnRate * tree.Predict(X[i])
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GBDT) Predict(x []float64) float64 {
+	out := g.base
+	for _, t := range g.trees {
+		out += g.Cfg.LearnRate * t.Predict(x)
+	}
+	return out
+}
+
+// ClassifyProb adapts a regressor trained on 0/1 labels to a probability by
+// clamping its output to [0, 1] — used for tree-based classifier ablations.
+func ClassifyProb(r Regressor, x []float64) float64 {
+	return math.Min(1, math.Max(0, r.Predict(x)))
+}

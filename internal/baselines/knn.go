@@ -1,0 +1,185 @@
+package baselines
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNConfig controls the k-nearest-neighbors regressor.
+type KNNConfig struct {
+	K int // 0 means 5
+	// Standardize z-scores features before distance computation
+	// (recommended; the queue features span wildly different scales).
+	Standardize bool
+}
+
+// KNN is a KD-tree-backed k-nearest-neighbors regressor with Euclidean
+// distance — one of the paper's published baselines (after Brown et al.).
+type KNN struct {
+	Cfg  KNNConfig
+	tree *kdNode
+	dim  int
+	mean []float64
+	std  []float64
+	y    []float64
+}
+
+// NewKNN returns an untrained kNN model.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	return &KNN{Cfg: cfg}
+}
+
+// Fit implements Regressor.
+func (k *KNN) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("baselines: knn fit with %d samples, %d targets", len(X), len(y))
+	}
+	k.dim = len(X[0])
+	k.y = append([]float64(nil), y...)
+
+	pts := make([][]float64, len(X))
+	if k.Cfg.Standardize {
+		k.mean = make([]float64, k.dim)
+		k.std = make([]float64, k.dim)
+		for _, row := range X {
+			for j, v := range row {
+				k.mean[j] += v
+			}
+		}
+		n := float64(len(X))
+		for j := range k.mean {
+			k.mean[j] /= n
+		}
+		for _, row := range X {
+			for j, v := range row {
+				d := v - k.mean[j]
+				k.std[j] += d * d
+			}
+		}
+		for j := range k.std {
+			k.std[j] = math.Sqrt(k.std[j] / n)
+			if k.std[j] == 0 {
+				k.std[j] = 1
+			}
+		}
+		for i, row := range X {
+			pts[i] = k.normalize(row)
+		}
+	} else {
+		for i, row := range X {
+			pts[i] = append([]float64(nil), row...)
+		}
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	k.tree = buildKD(pts, idx, 0, k.dim)
+	return nil
+}
+
+func (k *KNN) normalize(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - k.mean[j]) / k.std[j]
+	}
+	return out
+}
+
+// Predict implements Regressor: the mean target of the K nearest training
+// points.
+func (k *KNN) Predict(x []float64) float64 {
+	if k.tree == nil {
+		return 0
+	}
+	q := x
+	if k.Cfg.Standardize {
+		q = k.normalize(x)
+	}
+	h := &neighborHeap{}
+	searchKD(k.tree, q, k.Cfg.K, 0, k.dim, h)
+	if h.Len() == 0 {
+		return 0
+	}
+	var s float64
+	for _, nb := range *h {
+		s += k.y[nb.idx]
+	}
+	return s / float64(h.Len())
+}
+
+// kdNode is a KD-tree node holding one point.
+type kdNode struct {
+	point       []float64
+	idx         int
+	left, right *kdNode
+}
+
+// buildKD builds a balanced KD-tree by median split on the cycling axis.
+func buildKD(pts [][]float64, idx []int, depth, dim int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % dim
+	sort.Slice(idx, func(a, b int) bool { return pts[idx[a]][axis] < pts[idx[b]][axis] })
+	mid := len(idx) / 2
+	n := &kdNode{point: pts[idx[mid]], idx: idx[mid]}
+	n.left = buildKD(pts, idx[:mid], depth+1, dim)
+	n.right = buildKD(pts, idx[mid+1:], depth+1, dim)
+	return n
+}
+
+// neighbor is a candidate nearest point.
+type neighbor struct {
+	dist2 float64
+	idx   int
+}
+
+// neighborHeap is a max-heap on distance so the worst of the current K best
+// sits at the root.
+type neighborHeap []neighbor
+
+func (h neighborHeap) Len() int           { return len(h) }
+func (h neighborHeap) Less(i, j int) bool { return h[i].dist2 > h[j].dist2 }
+func (h neighborHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x any)        { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// searchKD descends the tree, pruning subtrees whose bounding half-space
+// cannot contain a closer point than the current K-th best.
+func searchKD(n *kdNode, q []float64, k, depth, dim int, h *neighborHeap) {
+	if n == nil {
+		return
+	}
+	d2 := dist2(q, n.point)
+	if h.Len() < k {
+		heap.Push(h, neighbor{d2, n.idx})
+	} else if d2 < (*h)[0].dist2 {
+		heap.Pop(h)
+		heap.Push(h, neighbor{d2, n.idx})
+	}
+	axis := depth % dim
+	diff := q[axis] - n.point[axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	searchKD(near, q, k, depth+1, dim, h)
+	if h.Len() < k || diff*diff < (*h)[0].dist2 {
+		searchKD(far, q, k, depth+1, dim, h)
+	}
+}

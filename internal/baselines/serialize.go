@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// flatNode is the wire form of one tree node; children are indices into the
+// flattened node array (-1 for none).
+type flatNode struct {
+	Feature     int
+	Threshold   float64
+	Left, Right int
+	Value       float64
+	Leaf        bool
+}
+
+// flatten serializes a node subtree into out, returning the root index.
+func flatten(n *treeNode, out *[]flatNode) int {
+	if n == nil {
+		return -1
+	}
+	idx := len(*out)
+	*out = append(*out, flatNode{})
+	l := flatten(n.left, out)
+	r := flatten(n.right, out)
+	(*out)[idx] = flatNode{
+		Feature: n.feature, Threshold: n.threshold,
+		Left: l, Right: r, Value: n.value, Leaf: n.leaf,
+	}
+	return idx
+}
+
+// unflatten rebuilds the subtree rooted at idx.
+func unflatten(nodes []flatNode, idx int) (*treeNode, error) {
+	if idx == -1 {
+		return nil, nil
+	}
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("baselines: node index %d out of range", idx)
+	}
+	f := nodes[idx]
+	n := &treeNode{feature: f.Feature, threshold: f.Threshold, value: f.Value, leaf: f.Leaf}
+	var err error
+	if n.left, err = unflatten(nodes, f.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = unflatten(nodes, f.Right); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// treeDTO is the gob wire form of a Tree.
+type treeDTO struct {
+	Cfg   TreeConfig
+	Dim   int
+	Nodes []flatNode
+	Root  int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	dto := treeDTO{Cfg: t.Cfg, Dim: t.dim, Root: -1}
+	dto.Root = flatten(t.root, &dto.Nodes)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	var dto treeDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return err
+	}
+	root, err := unflatten(dto.Nodes, dto.Root)
+	if err != nil {
+		return err
+	}
+	t.Cfg = dto.Cfg
+	t.dim = dto.Dim
+	t.root = root
+	return nil
+}
+
+// forestDTO is the gob wire form of a Forest.
+type forestDTO struct {
+	Cfg   ForestConfig
+	Trees [][]byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *Forest) MarshalBinary() ([]byte, error) {
+	dto := forestDTO{Cfg: f.Cfg}
+	for _, t := range f.trees {
+		b, err := t.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		dto.Trees = append(dto.Trees, b)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *Forest) UnmarshalBinary(data []byte) error {
+	var dto forestDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return err
+	}
+	f.Cfg = dto.Cfg
+	f.trees = f.trees[:0]
+	for i, tb := range dto.Trees {
+		t := &Tree{}
+		if err := t.UnmarshalBinary(tb); err != nil {
+			return fmt.Errorf("baselines: forest tree %d: %w", i, err)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package baselines implements the comparison models from the paper's
+// evaluation (§IV): a gradient-boosted regression-tree model (the XGBoost
+// stand-in), a random-forest regressor, and a k-nearest-neighbors regressor
+// over a KD-tree — plus the CART regression tree they share and the
+// random-forest runtime predictor whose output feeds back into the Table II
+// features. Everything trains on the same matrices the neural network sees.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Regressor is the common fit/predict interface all baselines implement.
+type Regressor interface {
+	// Fit trains on rows of X (samples) against y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the model output for one feature vector.
+	Predict(x []float64) float64
+}
+
+// PredictAll applies a regressor to every row.
+func PredictAll(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// TreeConfig controls CART construction.
+type TreeConfig struct {
+	MaxDepth    int // 0 means 10
+	MinLeaf     int // minimum samples per leaf; 0 means 5
+	MaxFeatures int // features considered per split; 0 means all
+	// MaxThresholds bounds candidate split points per feature (quantile
+	// candidates); 0 means 32.
+	MaxThresholds int
+	Seed          int64
+}
+
+func (c *TreeConfig) defaults() {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.MaxThresholds <= 0 {
+		c.MaxThresholds = 32
+	}
+}
+
+// treeNode is one node of a regression tree.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64
+	leaf        bool
+}
+
+// Tree is a CART regression tree minimizing within-node variance.
+type Tree struct {
+	Cfg  TreeConfig
+	root *treeNode
+	dim  int
+}
+
+// NewTree returns an untrained tree.
+func NewTree(cfg TreeConfig) *Tree {
+	cfg.defaults()
+	return &Tree{Cfg: cfg}
+}
+
+// Fit implements Regressor.
+func (t *Tree) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("baselines: tree fit with %d samples, %d targets", len(X), len(y))
+	}
+	t.dim = len(X[0])
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.Cfg.Seed))
+	t.root = t.build(X, y, idx, 0, rng)
+	return nil
+}
+
+// FitIndices trains on a subset of rows (used by bagging).
+func (t *Tree) FitIndices(X [][]float64, y []float64, idx []int, rng *rand.Rand) error {
+	if len(X) == 0 || len(X) != len(y) || len(idx) == 0 {
+		return fmt.Errorf("baselines: tree fit with %d samples, %d indices", len(X), len(idx))
+	}
+	t.dim = len(X[0])
+	own := append([]int(nil), idx...)
+	t.root = t.build(X, y, own, 0, rng)
+	return nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// build recursively grows the tree. idx is owned by the call and may be
+// permuted.
+func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+	if depth >= t.Cfg.MaxDepth || len(idx) < 2*t.Cfg.MinLeaf {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	feat, thr, ok := t.bestSplit(X, y, idx, rng)
+	if !ok {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	// Partition idx in place.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if X[idx[lo]][feat] <= thr {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	if lo < t.Cfg.MinLeaf || len(idx)-lo < t.Cfg.MinLeaf {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	n := &treeNode{feature: feat, threshold: thr}
+	n.left = t.build(X, y, idx[:lo], depth+1, rng)
+	n.right = t.build(X, y, idx[lo:], depth+1, rng)
+	return n
+}
+
+// bestSplit searches candidate thresholds for the split with the greatest
+// variance reduction.
+func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	dim := t.dim
+	feats := make([]int, dim)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.Cfg.MaxFeatures > 0 && t.Cfg.MaxFeatures < dim {
+		rng.Shuffle(dim, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:t.Cfg.MaxFeatures]
+	}
+
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	baseSSE := totalSq - totalSum*totalSum/n
+
+	bestGain := 1e-12
+	ok = false
+
+	type pair struct{ v, y float64 }
+	pairs := make([]pair, len(idx))
+	for _, f := range feats {
+		for k, i := range idx {
+			pairs[k] = pair{X[i][f], y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue // constant feature
+		}
+		// Candidate thresholds at quantile positions.
+		nCand := t.Cfg.MaxThresholds
+		if nCand > len(pairs)-1 {
+			nCand = len(pairs) - 1
+		}
+		// Prefix sums over the sorted order.
+		var leftSum, leftSq float64
+		leftN := 0
+		cand := 1
+		nextBoundary := func(c int) int { return c * len(pairs) / (nCand + 1) }
+		boundary := nextBoundary(cand)
+		for k := 0; k < len(pairs)-1; k++ {
+			leftSum += pairs[k].y
+			leftSq += pairs[k].y * pairs[k].y
+			leftN++
+			if k+1 < boundary {
+				continue
+			}
+			for cand <= nCand && nextBoundary(cand) <= k+1 {
+				cand++
+			}
+			boundary = nextBoundary(cand)
+			if pairs[k].v == pairs[k+1].v {
+				continue // cannot split between equal values
+			}
+			rightN := len(pairs) - leftN
+			if leftN < t.Cfg.MinLeaf || rightN < t.Cfg.MinLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(leftN)) +
+				(rightSq - rightSum*rightSum/float64(rightN))
+			gain := baseSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (pairs[k].v + pairs[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// Predict implements Regressor.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the tree's height (for tests).
+func (t *Tree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// NumLeaves returns the leaf count (for tests).
+func (t *Tree) NumLeaves() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			return 1
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}

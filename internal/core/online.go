@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/smote"
+)
+
+// ContinueTraining implements the paper's §V future-work item: online
+// learning that keeps predictions current as the cluster drifts. It runs
+// additional training epochs of both heads on the rows of ds selected by
+// idx (typically the most recent jobs), reusing the model's existing
+// feature scaler so the learned weights stay valid. Optimizer moments are
+// not carried over from the original run; each update is a fresh Adam run
+// at a reduced learning rate, the standard fine-tuning recipe.
+func (m *Model) ContinueTraining(ds *features.Dataset, idx []int, epochs int) error {
+	if epochs <= 0 {
+		return fmt.Errorf("core: ContinueTraining needs positive epochs")
+	}
+	if len(idx) < 10 {
+		return fmt.Errorf("core: ContinueTraining got only %d samples", len(idx))
+	}
+	X := make([][]float64, len(idx))
+	labels := make([]bool, len(idx))
+	for k, i := range idx {
+		X[k] = m.Scaler.Transform(ds.X[i])
+		labels[k] = ds.QueueMinutes[i] >= m.Cfg.CutoffMinutes
+	}
+
+	// Classifier update on (re-)balanced fresh data.
+	cx, cy := X, labels
+	if m.Cfg.UseSMOTE {
+		sc := m.Cfg.SMOTE
+		sc.Seed = m.Cfg.Seed + 301
+		if bx, by, err := smote.Balance(sc, X, labels); err == nil {
+			cx, cy = bx, by
+		}
+	}
+	y := make([]float64, len(cy))
+	for i, l := range cy {
+		if l {
+			y[i] = 1
+		}
+	}
+	xm, ym := toMatrices(cx, y)
+	clsTrainer := nn.Trainer{
+		Net: m.Classifier,
+		Opt: nn.NewAdam(m.Cfg.Classifier.LearnRate / 2),
+		Cfg: nn.TrainConfig{
+			Loss: nn.BCE, Epochs: epochs, BatchSize: m.Cfg.Classifier.BatchSize,
+			Workers: m.Cfg.Workers, Seed: m.Cfg.Seed + 302,
+		},
+	}
+	clsTrainer.Fit(xm, ym)
+
+	// Regressor update on the fresh long-job subset (skipped when the
+	// window has too few long jobs to learn from).
+	var rx [][]float64
+	var ry []float64
+	for k, i := range idx {
+		if ds.QueueMinutes[i] >= m.Cfg.CutoffMinutes {
+			rx = append(rx, X[k])
+			ry = append(ry, math.Log1p(ds.QueueMinutes[i]))
+		}
+	}
+	if len(rx) >= 10 {
+		loss := m.Cfg.RegressorLoss
+		if loss == "" {
+			loss = nn.SmoothL1
+		}
+		rxm, rym := toMatrices(rx, ry)
+		regTrainer := nn.Trainer{
+			Net: m.Regressor,
+			Opt: nn.NewAdam(m.Cfg.Regressor.LearnRate / 2),
+			Cfg: nn.TrainConfig{
+				Loss: loss, Epochs: epochs, BatchSize: m.Cfg.Regressor.BatchSize,
+				Workers: m.Cfg.Workers, Seed: m.Cfg.Seed + 303,
+			},
+		}
+		regTrainer.Fit(rxm, rym)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/scaling"
+	"repro/internal/tensor"
+)
+
+// QuantileModel extends TROUT's point regressor with prediction intervals:
+// one pinball-loss network per quantile over the long-job subset. The paper
+// (§V) notes the point model "struggled to predict massive outliers";
+// calibrated quantile bands communicate that uncertainty to users instead
+// of hiding it.
+type QuantileModel struct {
+	Taus   []float64
+	Nets   []*nn.Network
+	Scaler scaling.Scaler
+	Cutoff float64
+}
+
+// TrainQuantiles fits quantile regressors at the given taus (sorted
+// ascending) on the long-job subset of trainIdx, reusing the hierarchical
+// config's regressor architecture and scaler kind.
+func TrainQuantiles(ds *features.Dataset, trainIdx []int, cfg Config, taus []float64) (*QuantileModel, error) {
+	if len(taus) == 0 {
+		return nil, fmt.Errorf("core: no quantiles requested")
+	}
+	sorted := append([]float64(nil), taus...)
+	sort.Float64s(sorted)
+	for _, tau := range sorted {
+		if tau <= 0 || tau >= 1 {
+			return nil, fmt.Errorf("core: quantile %v outside (0,1)", tau)
+		}
+	}
+	scaler, err := scaling.New(cfg.Scaler)
+	if err != nil {
+		return nil, err
+	}
+	rawTrain := make([][]float64, len(trainIdx))
+	for k, i := range trainIdx {
+		rawTrain[k] = ds.X[i]
+	}
+	scaler.Fit(rawTrain)
+
+	var X [][]float64
+	var y []float64
+	for _, i := range trainIdx {
+		if ds.QueueMinutes[i] >= cfg.CutoffMinutes {
+			X = append(X, scaler.Transform(ds.X[i]))
+			y = append(y, math.Log1p(ds.QueueMinutes[i]))
+		}
+	}
+	if len(X) < 10 {
+		return nil, fmt.Errorf("core: only %d long jobs for quantile training", len(X))
+	}
+	xm, ym := toMatrices(X, y)
+	dim := len(X[0])
+
+	qm := &QuantileModel{Taus: sorted, Scaler: scaler, Cutoff: cfg.CutoffMinutes}
+	h := cfg.Regressor
+	for qi, tau := range sorted {
+		rng := rand.New(rand.NewSource(cfg.Seed + 500 + int64(qi)))
+		net := nn.NewNetwork(rng, nn.MLPSpecs(dim, h.Hidden, 1, h.Activation, nn.Identity, h.Dropout)...)
+		tauCopy := tau
+		tr := nn.Trainer{
+			Net: net,
+			Opt: nn.NewAdam(h.LearnRate),
+			Cfg: nn.TrainConfig{
+				Epochs: h.Epochs, BatchSize: h.BatchSize,
+				Workers: cfg.Workers, Seed: cfg.Seed + 600 + int64(qi),
+				LossFunc: func(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+					return nn.PinballLoss(tauCopy, pred, target)
+				},
+			},
+		}
+		tr.Fit(xm, ym)
+		qm.Nets = append(qm.Nets, net)
+	}
+	return qm, nil
+}
+
+// Interval returns the predicted queue-time quantiles in minutes for one
+// raw feature row, sorted ascending (crossing quantile outputs are
+// re-ordered, the standard post-hoc fix).
+func (q *QuantileModel) Interval(raw []float64) []float64 {
+	x := q.Scaler.Transform(raw)
+	out := make([]float64, len(q.Nets))
+	for i, net := range q.Nets {
+		v := math.Expm1(net.Predict1(x))
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Coverage evaluates empirical coverage of the [lowest, highest] quantile
+// band over the truly-long jobs of testIdx, returning the fraction of
+// actuals inside the band and the band's mean width in minutes.
+func (q *QuantileModel) Coverage(ds *features.Dataset, testIdx []int) (coverage, meanWidth float64, n int) {
+	var inside int
+	var width float64
+	for _, i := range testIdx {
+		if ds.QueueMinutes[i] < q.Cutoff {
+			continue
+		}
+		iv := q.Interval(ds.X[i])
+		lo, hi := iv[0], iv[len(iv)-1]
+		a := ds.QueueMinutes[i]
+		if a >= lo && a <= hi {
+			inside++
+		}
+		width += hi - lo
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(inside) / float64(n), width / float64(n), n
+}

@@ -1,0 +1,319 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/slurmsim"
+	"repro/internal/trace"
+)
+
+func tinyCluster() slurmsim.ClusterSpec {
+	return slurmsim.ClusterSpec{
+		Nodes: []slurmsim.NodeSpec{{CPUs: 4, MemGB: 8}, {CPUs: 4, MemGB: 8}},
+		Partitions: []slurmsim.PartitionSpec{
+			{Name: "shared", Tier: 1, NodeIDs: []int{0, 1}},
+		},
+	}
+}
+
+// handTrace builds three jobs whose queue-state aggregates can be checked
+// by hand (see comments inline in the test).
+func handTrace() *trace.Trace {
+	return &trace.Trace{Jobs: []trace.Job{
+		{ID: 1, User: 1, Partition: "shared", State: trace.StateCompleted,
+			Submit: 100, Eligible: 100, Start: 100, End: 1000,
+			ReqCPUs: 4, ReqMemGB: 8, ReqNodes: 1, TimeLimit: 1200, Priority: 10},
+		{ID: 2, User: 1, Partition: "shared", State: trace.StateCompleted,
+			Submit: 150, Eligible: 150, Start: 500, End: 800,
+			ReqCPUs: 2, ReqMemGB: 4, ReqNodes: 1, TimeLimit: 600, Priority: 20},
+		{ID: 3, User: 1, Partition: "shared", State: trace.StateCompleted,
+			Submit: 200, Eligible: 200, Start: 600, End: 900,
+			ReqCPUs: 1, ReqMemGB: 2, ReqNodes: 1, TimeLimit: 300, Priority: 5},
+	}}
+}
+
+func fidx(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range Names {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("unknown feature %q", name)
+	return -1
+}
+
+func TestNamesMatchWidth(t *testing.T) {
+	if len(Names) != NumFeatures {
+		t.Fatalf("len(Names) = %d, NumFeatures = %d", len(Names), NumFeatures)
+	}
+	seen := map[string]bool{}
+	for _, n := range Names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestHandComputedAggregates(t *testing.T) {
+	cluster := tinyCluster()
+	ds, err := Build(handTrace(), &cluster, Options{Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("%d samples", ds.Len())
+	}
+	// Jobs sorted by eligibility: job 3 is index 2.
+	row := ds.X[2]
+	// At t=200: job 2 is pending (150 ≤ 200 < 500), job 1 is running
+	// (100 ≤ 200 < 1000). Job 3 itself is excluded from queue counts.
+	checks := map[string]float64{
+		"Priority":              5,
+		"Timelimit Raw":         5, // 300 s
+		"Req CPUs":              1,
+		"Req Mem":               2,
+		"Req Nodes":             1,
+		"Par Jobs Queue":        1,
+		"Par CPUs Queue":        2,
+		"Par Mem Queue":         4,
+		"Par Nodes Queue":       1,
+		"Par Timelimit Queue":   10,
+		"Par Jobs Ahead":        1, // job 2 has priority 20 > 5
+		"Par CPUs Ahead":        2,
+		"Par Jobs Running":      1,
+		"Par CPUs Running":      4,
+		"Par Mem Running":       8,
+		"Par Nodes Running":     1,
+		"Par Timelimit Running": 20,
+		"User Jobs Past Day":    2, // jobs 1, 2 submitted before t=200
+		"User CPUs Past Day":    6,
+		"User Mem Past Day":     12,
+		"User Nodes Past Day":   2,
+		"Par Total Nodes":       2,
+		"Par Total CPU":         8,
+		"Par CPU per Node":      4,
+		"Par Mem per Node":      8,
+		"Par Total GPU":         0,
+	}
+	for name, want := range checks {
+		if got := row[fidx(t, name)]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Queue target: job 3 waited 400 s = 6.667 min.
+	if math.Abs(ds.QueueMinutes[2]-400.0/60) > 1e-9 {
+		t.Fatalf("queue minutes = %v", ds.QueueMinutes[2])
+	}
+}
+
+func TestFirstJobSeesEmptyQueue(t *testing.T) {
+	cluster := tinyCluster()
+	ds, err := Build(handTrace(), &cluster, Options{Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := ds.X[0] // job 1, eligible first at t=100, started instantly
+	for _, name := range []string{"Par Jobs Queue", "Par Jobs Ahead", "Par Jobs Running", "User Jobs Past Day"} {
+		if got := row[fidx(t, name)]; got != 0 {
+			t.Errorf("%s = %v for the first job, want 0", name, got)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cluster := tinyCluster()
+	ds, err := Build(handTrace(), &cluster, Options{Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ds.Labels(5) // 5-minute cutoff
+	// Queue times: job1 0 min, job2 350/60 ≈ 5.83 min, job3 6.67 min.
+	want := []bool{false, true, true}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+}
+
+// randomTrace produces a consistent random trace for differential tests.
+func randomTrace(rng *rand.Rand, n int) *trace.Trace {
+	tr := &trace.Trace{}
+	var clock int64 = 1000
+	for i := 0; i < n; i++ {
+		clock += rng.Int63n(100)
+		eligible := clock + rng.Int63n(50)
+		start := eligible + rng.Int63n(2000)
+		end := start + 1 + rng.Int63n(3000)
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID: i + 1, User: rng.Intn(10) + 1, Partition: "shared",
+			State:  trace.StateCompleted,
+			Submit: clock, Eligible: eligible, Start: start, End: end,
+			ReqCPUs: 1 + rng.Intn(4), ReqMemGB: 1 + rng.Float64()*7,
+			ReqNodes: 1, TimeLimit: 300 + rng.Int63n(7200),
+			Priority: rng.Int63n(1000),
+		})
+	}
+	return tr
+}
+
+// TestAggregatesMatchNaive is the differential test: interval-tree
+// aggregates must equal a quadratic scan.
+func TestAggregatesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := randomTrace(rng, 300)
+	cluster := tinyCluster()
+	ds, err := Build(tr, &cluster, Options{Workers: 4, Seed: 3, ChunkSize: 100, ChunkOverlap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iQ := fidx(t, "Par Jobs Queue")
+	iA := fidx(t, "Par Jobs Ahead")
+	iR := fidx(t, "Par Jobs Running")
+	iQC := fidx(t, "Par CPUs Queue")
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		tt := j.Eligible
+		var q, a, r, qc float64
+		for k := range ds.Jobs {
+			if k == i {
+				continue
+			}
+			o := &ds.Jobs[k]
+			if o.Eligible <= tt && tt < o.Start {
+				q++
+				qc += float64(o.ReqCPUs)
+				if o.Priority > j.Priority {
+					a++
+				}
+			}
+		}
+		for k := range ds.Jobs {
+			if k == i {
+				continue
+			}
+			o := &ds.Jobs[k]
+			if o.Start <= tt && tt < o.End {
+				r++
+			}
+		}
+		if ds.X[i][iQ] != q || ds.X[i][iA] != a || ds.X[i][iR] != r || ds.X[i][iQC] != qc {
+			t.Fatalf("job %d: tree (q=%v a=%v r=%v qc=%v) vs naive (q=%v a=%v r=%v qc=%v)",
+				j.ID, ds.X[i][iQ], ds.X[i][iA], ds.X[i][iR], ds.X[i][iQC], q, a, r, qc)
+		}
+	}
+}
+
+func TestParallelBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := randomTrace(rng, 400)
+	cluster := tinyCluster()
+	a, err := Build(tr, &cluster, Options{Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(tr, &cluster, Options{Workers: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.X, b.X) {
+		t.Fatal("parallel build differs from serial")
+	}
+}
+
+func TestRuntimePredictorSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := randomTrace(rng, 500)
+	cluster := tinyCluster()
+	ds, err := Build(tr, &cluster, Options{Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := make([]float64, ds.Len())
+	for i := range ds.Jobs {
+		if ds.PredRuntime[i] < 0 {
+			t.Fatalf("negative predicted runtime %v", ds.PredRuntime[i])
+		}
+		actual[i] = float64(ds.Jobs[i].RuntimeSeconds())
+	}
+	// The forest should at least correlate positively with the truth on
+	// the training half (runtimes here are correlated with time limits).
+	half := ds.Len() / 2
+	r := metrics.Pearson(ds.PredRuntime[:half], actual[:half])
+	if r < 0.1 {
+		t.Fatalf("runtime predictor correlation %v", r)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cluster := tinyCluster()
+	if _, err := Build(&trace.Trace{}, &cluster, Options{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := handTrace()
+	bad.Jobs[0].Partition = "nope"
+	if _, err := Build(bad, &cluster, Options{}); err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+}
+
+func TestUnsortedTraceHandled(t *testing.T) {
+	tr := handTrace()
+	// Reverse the jobs; Build must sort by eligibility itself.
+	tr.Jobs[0], tr.Jobs[2] = tr.Jobs[2], tr.Jobs[0]
+	cluster := tinyCluster()
+	ds, err := Build(tr, &cluster, Options{Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Jobs[0].ID != 1 || ds.Jobs[2].ID != 3 {
+		t.Fatal("dataset not sorted by eligibility")
+	}
+}
+
+func TestPermutationImportance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 10 * X[i][0] // feature 0 carries all signal
+	}
+	predict := func(row []float64) float64 { return 10 * row[0] }
+	imps := PermutationImportance(predict, X, y, []string{"signal", "noise"}, metrics.RMSE, 9)
+	if len(imps) != 2 {
+		t.Fatalf("%d importances", len(imps))
+	}
+	if imps[0].Feature != "signal" {
+		t.Fatalf("top feature %q, want signal", imps[0].Feature)
+	}
+	if imps[0].Score <= imps[1].Score {
+		t.Fatal("signal feature not more important than noise")
+	}
+	if math.Abs(imps[1].Score) > 1e-9 {
+		t.Fatalf("noise importance %v, want ≈0", imps[1].Score)
+	}
+}
+
+func TestPermutationImportanceEmpty(t *testing.T) {
+	if PermutationImportance(func([]float64) float64 { return 0 }, nil, nil, nil, metrics.RMSE, 1) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func BenchmarkBuild2k(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	tr := randomTrace(rng, 2000)
+	cluster := tinyCluster()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(tr, &cluster, Options{Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

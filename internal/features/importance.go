@@ -1,0 +1,54 @@
+package features
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Importance is one feature's permutation-importance score.
+type Importance struct {
+	Feature string
+	Score   float64
+}
+
+// PermutationImportance ranks features by how much shuffling each column
+// degrades the model, the model-agnostic counterpart of the paper's SHAP
+// analysis (features scoring ≈ 0 are candidates for removal). predict maps
+// a feature row to a prediction; loss scores predictions against targets
+// (lower is better). Returns scores sorted descending.
+func PermutationImportance(
+	predict func([]float64) float64,
+	X [][]float64, y []float64, names []string,
+	loss func(pred, actual []float64) float64,
+	seed int64,
+) []Importance {
+	if len(X) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]float64, len(X))
+	for i, row := range X {
+		base[i] = predict(row)
+	}
+	baseLoss := loss(base, y)
+
+	dim := len(X[0])
+	out := make([]Importance, dim)
+	perm := rng.Perm(len(X))
+	scratch := make([]float64, dim)
+	pred := make([]float64, len(X))
+	for f := 0; f < dim; f++ {
+		for i, row := range X {
+			copy(scratch, row)
+			scratch[f] = X[perm[i]][f]
+			pred[i] = predict(scratch)
+		}
+		name := ""
+		if f < len(names) {
+			name = names[f]
+		}
+		out[f] = Importance{Feature: name, Score: loss(pred, y) - baseLoss}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}

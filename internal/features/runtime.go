@@ -1,0 +1,82 @@
+package features
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/slurmsim"
+	"repro/internal/trace"
+)
+
+// RuntimePredictor is the random-forest job-runtime model (§II/§III: a
+// separate model whose output is fed to the queue-time predictor as the
+// Pred Runtime features). It uses only request-time inputs, so it can score
+// a job the moment it is submitted.
+type RuntimePredictor struct {
+	Forest *baselines.Forest
+}
+
+// TrainRuntimePredictor fits the forest on the given (time-ordered) jobs.
+// Targets are log-seconds of actual runtime.
+func TrainRuntimePredictor(jobs []trace.Job, totals map[string]slurmsim.PartitionTotals, trees int, seed int64) (*RuntimePredictor, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("features: no jobs to train runtime predictor")
+	}
+	if trees <= 0 {
+		trees = 50
+	}
+	X := make([][]float64, len(jobs))
+	y := make([]float64, len(jobs))
+	for i := range jobs {
+		X[i] = runtimeFeatureRow(&jobs[i], totals[jobs[i].Partition])
+		y[i] = math.Log1p(float64(jobs[i].RuntimeSeconds()))
+	}
+	forest := baselines.NewForest(baselines.ForestConfig{
+		Trees: trees,
+		Tree:  baselines.TreeConfig{MaxDepth: 10, MinLeaf: 10},
+		Seed:  seed,
+	})
+	if err := forest.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("features: runtime predictor: %w", err)
+	}
+	return &RuntimePredictor{Forest: forest}, nil
+}
+
+// PredictSeconds estimates a job's runtime in seconds from request-time
+// fields only.
+func (r *RuntimePredictor) PredictSeconds(j *trace.Job, tot slurmsim.PartitionTotals) float64 {
+	v := math.Expm1(r.Forest.Predict(runtimeFeatureRow(j, tot)))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Bytes serializes the predictor.
+func (r *RuntimePredictor) Bytes() ([]byte, error) {
+	fb, err := r.Forest.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fb); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RuntimePredictorFromBytes deserializes a predictor written by Bytes.
+func RuntimePredictorFromBytes(b []byte) (*RuntimePredictor, error) {
+	var fb []byte
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&fb); err != nil {
+		return nil, fmt.Errorf("features: runtime predictor: %w", err)
+	}
+	forest := &baselines.Forest{}
+	if err := forest.UnmarshalBinary(fb); err != nil {
+		return nil, fmt.Errorf("features: runtime predictor: %w", err)
+	}
+	return &RuntimePredictor{Forest: forest}, nil
+}

@@ -1,0 +1,145 @@
+package hyperopt
+
+import (
+	"math"
+	"testing"
+)
+
+func quadSpace() []Param {
+	return []Param{
+		Uniform("x", -10, 10),
+		LogUniform("lr", 1e-5, 1e-1),
+		IntRange("layers", 1, 4),
+		Categorical("act", "relu", "elu"),
+	}
+}
+
+func TestSearchFindsGoodX(t *testing.T) {
+	// Minimize (x-3)^2: with 200 random trials the best x should be
+	// close to 3.
+	res, err := Search(Config{Trials: 200, Seed: 1}, quadSpace(), func(tr *Trial, _ int) float64 {
+		d := tr.Float("x") - 3
+		return d * d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best.Float("x")-3) > 0.5 {
+		t.Fatalf("best x = %v", res.Best.Float("x"))
+	}
+	if len(res.Trials) != 200 {
+		t.Fatalf("%d trials", len(res.Trials))
+	}
+}
+
+func TestSampledValuesInRange(t *testing.T) {
+	res, err := Search(Config{Trials: 100, Seed: 2}, quadSpace(), func(tr *Trial, _ int) float64 {
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Trials {
+		if x := tr.Float("x"); x < -10 || x > 10 {
+			t.Fatalf("x=%v out of range", x)
+		}
+		if lr := tr.Float("lr"); lr < 1e-5 || lr > 1e-1 {
+			t.Fatalf("lr=%v out of range", lr)
+		}
+		if l := tr.Int("layers"); l < 1 || l > 4 {
+			t.Fatalf("layers=%d out of range", l)
+		}
+		if a := tr.Cat("act"); a != "relu" && a != "elu" {
+			t.Fatalf("act=%q", a)
+		}
+	}
+}
+
+func TestLogUniformCoversDecades(t *testing.T) {
+	res, _ := Search(Config{Trials: 300, Seed: 3}, []Param{LogUniform("lr", 1e-5, 1e-1)},
+		func(tr *Trial, _ int) float64 { return 0 })
+	decades := map[int]int{}
+	for _, tr := range res.Trials {
+		decades[int(math.Floor(math.Log10(tr.Float("lr"))))]++
+	}
+	// All four decades [1e-5,1e-1) should be hit.
+	for d := -5; d <= -2; d++ {
+		if decades[d] == 0 {
+			t.Fatalf("decade 1e%d never sampled: %v", d, decades)
+		}
+	}
+}
+
+func TestSuccessiveHalvingPrunes(t *testing.T) {
+	evals := map[int]int{}
+	res, err := Search(Config{
+		Trials: 27, Seed: 4, Halving: true, MinBudget: 1, MaxBudget: 9, Eta: 3,
+	}, []Param{Uniform("x", 0, 1)}, func(tr *Trial, budget int) float64 {
+		evals[tr.ID]++
+		return tr.Float("x")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for _, tr := range res.Trials {
+		if tr.Pruned {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("halving pruned nothing")
+	}
+	if res.Best.Pruned {
+		t.Fatal("best trial is pruned")
+	}
+	// The survivor must have reached the max budget.
+	if res.Best.Budget != 9 {
+		t.Fatalf("best budget %d, want 9", res.Best.Budget)
+	}
+	// Pruned trials were evaluated fewer times than the winner.
+	if evals[res.Best.ID] < 2 {
+		t.Fatalf("winner evaluated %d times", evals[res.Best.ID])
+	}
+}
+
+func TestHalvingSpendsLessThanFull(t *testing.T) {
+	var fullCost, halvingCost int
+	Search(Config{Trials: 27, Seed: 5}, []Param{Uniform("x", 0, 1)},
+		func(tr *Trial, budget int) float64 { fullCost += 9; return tr.Float("x") })
+	Search(Config{Trials: 27, Seed: 5, Halving: true, MinBudget: 1, MaxBudget: 9, Eta: 3},
+		[]Param{Uniform("x", 0, 1)},
+		func(tr *Trial, budget int) float64 { halvingCost += budget; return tr.Float("x") })
+	if halvingCost >= fullCost {
+		t.Fatalf("halving cost %d >= full cost %d", halvingCost, fullCost)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	ok := []Param{Uniform("x", 0, 1)}
+	obj := func(tr *Trial, _ int) float64 { return 0 }
+	if _, err := Search(Config{}, nil, obj); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, err := Search(Config{}, ok, nil); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+	if _, err := Search(Config{Halving: true}, ok, obj); err == nil {
+		t.Fatal("bad halving budgets accepted")
+	}
+	if _, err := Search(Config{}, []Param{Uniform("x", 5, 1)}, obj); err == nil {
+		t.Fatal("max<min accepted")
+	}
+	if _, err := Search(Config{}, []Param{LogUniform("x", 0, 1)}, obj); err == nil {
+		t.Fatal("log with min=0 accepted")
+	}
+}
+
+func TestDeterministicSearch(t *testing.T) {
+	obj := func(tr *Trial, _ int) float64 { return tr.Float("x") }
+	a, _ := Search(Config{Trials: 50, Seed: 9}, quadSpace(), obj)
+	b, _ := Search(Config{Trials: 50, Seed: 9}, quadSpace(), obj)
+	if a.Best.Float("x") != b.Best.Float("x") {
+		t.Fatal("search not deterministic")
+	}
+}

@@ -1,0 +1,294 @@
+package intervaltree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ivKey(iv Interval) [3]int64 { return [3]int64{iv.Lo, iv.Hi, int64(iv.ID)} }
+
+func sortIvs(ivs []Interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		a, b := ivKey(ivs[i]), ivKey(ivs[j])
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+func sameIvs(a, b []Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortIvs(a)
+	sortIvs(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomIntervals(rng *rand.Rand, n int, span int64) []Interval {
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := rng.Int63n(span)
+		hi := lo + rng.Int63n(span/4+1)
+		ivs[i] = Interval{Lo: lo, Hi: hi, ID: i}
+	}
+	return ivs
+}
+
+func TestContainsOverlapsHalfOpen(t *testing.T) {
+	iv := Interval{Lo: 5, Hi: 10}
+	if iv.Contains(4) || !iv.Contains(5) || !iv.Contains(9) || iv.Contains(10) {
+		t.Fatal("Contains wrong at boundaries")
+	}
+	if !iv.Overlaps(9, 12) || iv.Overlaps(10, 12) || iv.Overlaps(0, 5) || !iv.Overlaps(0, 6) {
+		t.Fatal("Overlaps wrong at boundaries")
+	}
+}
+
+func TestInsertAndStabSimple(t *testing.T) {
+	tr := New()
+	tr.Insert(Interval{0, 10, 1})
+	tr.Insert(Interval{5, 15, 2})
+	tr.Insert(Interval{20, 30, 3})
+	got := tr.Stab(nil, 7)
+	want := []Interval{{0, 10, 1}, {5, 15, 2}}
+	if !sameIvs(got, want) {
+		t.Fatalf("Stab(7) = %v", got)
+	}
+	if len(tr.Stab(nil, 16)) != 0 {
+		t.Fatal("Stab(16) should be empty")
+	}
+	if tr.Size() != 3 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+}
+
+func TestInvertedIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Insert(Interval{Lo: 5, Hi: 1})
+}
+
+func TestZeroLengthIntervalNeverStabs(t *testing.T) {
+	tr := New()
+	tr.Insert(Interval{7, 7, 1})
+	if len(tr.Stab(nil, 7)) != 0 {
+		t.Fatal("zero-length interval must not contain its endpoint")
+	}
+}
+
+// TestStabMatchesNaive is the core differential test: random trees against
+// the linear scanner at random stab points.
+func TestStabMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := randomIntervals(rng, 500, 10000)
+	tr := New()
+	for _, iv := range ivs {
+		tr.Insert(iv)
+	}
+	naive := &NaiveScan{Intervals: ivs}
+	for q := 0; q < 200; q++ {
+		at := rng.Int63n(12000) - 1000
+		if !sameIvs(tr.Stab(nil, at), naive.Stab(nil, at)) {
+			t.Fatalf("Stab(%d) differs from naive", at)
+		}
+	}
+}
+
+func TestOverlapMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ivs := randomIntervals(rng, 300, 5000)
+	tr := Build(ivs)
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(6000)
+		hi := lo + rng.Int63n(1000)
+		got := tr.Overlap(nil, lo, hi)
+		var want []Interval
+		for _, iv := range ivs {
+			if iv.Overlaps(lo, hi) {
+				want = append(want, iv)
+			}
+		}
+		if !sameIvs(got, want) {
+			t.Fatalf("Overlap(%d,%d) differs from naive", lo, hi)
+		}
+	}
+}
+
+func TestStabVisitMatchesStab(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ivs := randomIntervals(rng, 200, 2000)
+	tr := Build(ivs)
+	for q := 0; q < 50; q++ {
+		at := rng.Int63n(2500)
+		var visited []Interval
+		tr.StabVisit(at, func(iv Interval) { visited = append(visited, iv) })
+		if !sameIvs(visited, tr.Stab(nil, at)) {
+			t.Fatalf("StabVisit(%d) differs from Stab", at)
+		}
+	}
+}
+
+// TestAVLBalanced: height must stay O(log n) under sequential insertion
+// (the worst case for unbalanced BSTs).
+func TestAVLBalanced(t *testing.T) {
+	tr := New()
+	n := 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(Interval{int64(i), int64(i + 5), i})
+	}
+	// AVL height bound: 1.44*log2(n+2). For n=4096 that's ≈ 18.
+	if h := tr.Height(); h > 19 {
+		t.Fatalf("height %d too large for AVL with %d nodes", h, n)
+	}
+	if tr.Size() != n {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+}
+
+func TestBuildMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ivs := randomIntervals(rng, 400, 3000)
+	built := Build(ivs)
+	inserted := New()
+	for _, iv := range ivs {
+		inserted.Insert(iv)
+	}
+	for q := 0; q < 100; q++ {
+		at := rng.Int63n(3500)
+		if !sameIvs(built.Stab(nil, at), inserted.Stab(nil, at)) {
+			t.Fatalf("Build tree differs from inserted tree at %d", at)
+		}
+	}
+	if built.Height() > inserted.Height() {
+		t.Fatal("Build should be at least as balanced as AVL insertion")
+	}
+}
+
+// TestBuildChunkedEquivalence: the paper's chunk+overlap+merge construction
+// must be semantically identical to a single build.
+func TestBuildChunkedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ivs := randomIntervals(rng, 2500, 20000)
+	whole := Build(ivs)
+	chunked := BuildChunked(ivs, 1000, 100)
+	if chunked.Size() != whole.Size() {
+		t.Fatalf("chunked size %d != whole %d", chunked.Size(), whole.Size())
+	}
+	for q := 0; q < 300; q++ {
+		at := rng.Int63n(22000)
+		if !sameIvs(chunked.Stab(nil, at), whole.Stab(nil, at)) {
+			t.Fatalf("chunked differs at %d", at)
+		}
+	}
+}
+
+func TestBuildChunkedSmallInput(t *testing.T) {
+	ivs := []Interval{{0, 5, 0}, {3, 9, 1}}
+	tr := BuildChunked(ivs, 100, 10)
+	if tr.Size() != 2 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+}
+
+func TestBuildChunkedBadParamsPanics(t *testing.T) {
+	for _, c := range []struct{ chunk, overlap int }{{0, 0}, {10, 10}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for chunk=%d overlap=%d", c.chunk, c.overlap)
+				}
+			}()
+			BuildChunked(make([]Interval, 20), c.chunk, c.overlap)
+		}()
+	}
+}
+
+func TestMergeDeduplicates(t *testing.T) {
+	a := Build([]Interval{{0, 10, 1}, {5, 20, 2}})
+	b := Build([]Interval{{5, 20, 2}, {30, 40, 3}}) // {5,20,2} duplicated
+	m := Merge(a, b)
+	if m.Size() != 3 {
+		t.Fatalf("merged size %d, want 3", m.Size())
+	}
+	if got := m.Stab(nil, 6); len(got) != 2 {
+		t.Fatalf("Stab(6) after merge = %v", got)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ivs := randomIntervals(rng, 100, 500)
+	tr := Build(ivs)
+	all := tr.All(nil)
+	if len(all) != 100 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Lo < all[i-1].Lo {
+			t.Fatal("All not sorted by Lo")
+		}
+	}
+}
+
+// Property: for random interval sets, every stab result is exactly the set
+// of intervals containing the point.
+func TestStabProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		ivs := randomIntervals(rng, n, 200)
+		tr := Build(ivs)
+		at := rng.Int63n(250)
+		got := tr.Stab(nil, at)
+		want := (&NaiveScan{Intervals: ivs}).Stab(nil, at)
+		return sameIvs(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeStab10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ivs := randomIntervals(rng, 10000, 1<<20)
+	tr := Build(ivs)
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		tr.StabVisit(rng.Int63n(1<<20), func(Interval) { count++ })
+	}
+}
+
+func BenchmarkNaiveStab10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ivs := randomIntervals(rng, 10000, 1<<20)
+	sc := &NaiveScan{Intervals: ivs}
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		sc.StabVisit(rng.Int63n(1<<20), func(Interval) { count++ })
+	}
+}
+
+func BenchmarkBuildChunked100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	ivs := randomIntervals(rng, 100000, 1<<24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildChunked(ivs, 100000, 10000)
+	}
+}

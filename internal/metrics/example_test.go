@@ -1,0 +1,35 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// The paper's own motivating example: predicting 1 minute for a 10-minute
+// wait is far worse *relatively* than predicting 10 for 30, even though the
+// absolute error is smaller.
+func ExampleMAPE() {
+	fmt.Printf("%.0f%%\n", metrics.MAPE([]float64{1}, []float64{10}))
+	fmt.Printf("%.0f%%\n", metrics.MAPE([]float64{10}, []float64{30}))
+	// Output:
+	// 90%
+	// 67%
+}
+
+func ExampleConfusion() {
+	probs := []float64{0.9, 0.2, 0.7, 0.1}
+	labels := []bool{true, false, false, false}
+	c := metrics.Confuse(probs, labels)
+	fmt.Printf("accuracy %.2f  balanced %.2f\n", c.Accuracy(), c.BalancedAccuracy())
+	// Output:
+	// accuracy 0.75  balanced 0.83
+}
+
+func ExampleWithinPercent() {
+	pred := []float64{15, 45, 500}
+	actual := []float64{20, 30, 60}
+	fmt.Printf("%.2f\n", metrics.WithinPercent(pred, actual, 100))
+	// Output:
+	// 0.67
+}

@@ -1,0 +1,6 @@
+package metrics
+
+import "math/rand"
+
+// newRng keeps property tests terse.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

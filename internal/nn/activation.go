@@ -1,0 +1,101 @@
+// Package nn implements the feed-forward neural networks used by TROUT:
+// dense layers, the activation functions the paper evaluates (ELU, ReLU,
+// sigmoid, tanh), dropout and batch normalization, the losses (binary
+// cross-entropy for the classifier, smooth-L1 for the regressor), SGD and
+// Adam optimizers, mini-batch training with goroutine-parallel gradient
+// workers, and gob model serialization. Only the standard library is used.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActivationKind names an element-wise nonlinearity.
+type ActivationKind string
+
+// Supported activations. The paper selects ELU for the regressor's hidden
+// layers after comparing against ReLU; sigmoid is used on the classifier
+// output; Identity is the linear output of the regressor.
+const (
+	ReLU      ActivationKind = "relu"
+	ELU       ActivationKind = "elu"
+	LeakyReLU ActivationKind = "leakyrelu"
+	Sigmoid   ActivationKind = "sigmoid"
+	Tanh      ActivationKind = "tanh"
+	Identity  ActivationKind = "identity"
+)
+
+// eluAlpha is the standard ELU α (Clevert et al. 2016).
+const eluAlpha = 1.0
+
+// leakySlope is the negative-side slope for LeakyReLU.
+const leakySlope = 0.01
+
+// activate returns f(x) for the given activation.
+func activate(k ActivationKind, x float64) float64 {
+	switch k {
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case ELU:
+		if x > 0 {
+			return x
+		}
+		return eluAlpha * (math.Exp(x) - 1)
+	case LeakyReLU:
+		if x > 0 {
+			return x
+		}
+		return leakySlope * x
+	case Sigmoid:
+		return 1.0 / (1.0 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	case Identity:
+		return x
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %q", k))
+	}
+}
+
+// activateGrad returns f'(x) given both the pre-activation x and the cached
+// output y = f(x); using y lets sigmoid/tanh/ELU avoid recomputing exp.
+func activateGrad(k ActivationKind, x, y float64) float64 {
+	switch k {
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case ELU:
+		if x > 0 {
+			return 1
+		}
+		return y + eluAlpha // d/dx α(e^x−1) = αe^x = y+α
+	case LeakyReLU:
+		if x > 0 {
+			return 1
+		}
+		return leakySlope
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	case Identity:
+		return 1
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %q", k))
+	}
+}
+
+// ValidActivation reports whether k names a supported activation.
+func ValidActivation(k ActivationKind) bool {
+	switch k {
+	case ReLU, ELU, LeakyReLU, Sigmoid, Tanh, Identity:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LossKind names a training loss.
+type LossKind string
+
+// Supported losses. The paper uses smooth-L1 for the regressor (robust to
+// the day-long queue-time outliers) and binary cross-entropy with balanced
+// classes for the classifier.
+const (
+	MSE      LossKind = "mse"
+	MAE      LossKind = "mae"
+	SmoothL1 LossKind = "smoothl1"
+	BCE      LossKind = "bce"
+)
+
+// smoothL1Beta is the transition point between the quadratic and linear
+// regimes of the smooth-L1 (Huber) loss.
+const smoothL1Beta = 1.0
+
+// bceEps clamps sigmoid outputs away from {0,1} so log stays finite.
+const bceEps = 1e-9
+
+// Loss evaluates a loss and its gradient w.r.t. predictions. pred and target
+// must be equal-shaped; the returned gradient has the same shape. The scalar
+// is the mean loss over all elements.
+func Loss(kind LossKind, pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: loss shape mismatch %dx%d vs %dx%d",
+			pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(pred.Data))
+	if n == 0 {
+		return 0, tensor.New(0, 0)
+	}
+	grad := tensor.New(pred.Rows, pred.Cols)
+	var total float64
+	switch kind {
+	case MSE:
+		for i, p := range pred.Data {
+			d := p - target.Data[i]
+			total += d * d
+			grad.Data[i] = 2 * d / n
+		}
+	case MAE:
+		for i, p := range pred.Data {
+			d := p - target.Data[i]
+			total += math.Abs(d)
+			switch {
+			case d > 0:
+				grad.Data[i] = 1 / n
+			case d < 0:
+				grad.Data[i] = -1 / n
+			}
+		}
+	case SmoothL1:
+		for i, p := range pred.Data {
+			d := p - target.Data[i]
+			ad := math.Abs(d)
+			if ad < smoothL1Beta {
+				total += 0.5 * d * d / smoothL1Beta
+				grad.Data[i] = d / smoothL1Beta / n
+			} else {
+				total += ad - 0.5*smoothL1Beta
+				if d > 0 {
+					grad.Data[i] = 1 / n
+				} else {
+					grad.Data[i] = -1 / n
+				}
+			}
+		}
+	case BCE:
+		for i, p := range pred.Data {
+			y := target.Data[i]
+			pc := math.Min(math.Max(p, bceEps), 1-bceEps)
+			total += -(y*math.Log(pc) + (1-y)*math.Log(1-pc))
+			grad.Data[i] = (pc - y) / (pc * (1 - pc)) / n
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown loss %q", kind))
+	}
+	return total / n, grad
+}
+
+// PinballLoss evaluates the quantile (pinball) loss at quantile tau and its
+// gradient w.r.t. predictions: loss = mean(max(tau·d, (tau−1)·d)) with
+// d = target − pred. Minimizing it makes the model estimate the tau-th
+// conditional quantile — the basis for queue-time prediction intervals.
+func PinballLoss(tau float64, pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if tau <= 0 || tau >= 1 {
+		panic(fmt.Sprintf("nn: pinball tau %v outside (0,1)", tau))
+	}
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: pinball shape mismatch %dx%d vs %dx%d",
+			pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(pred.Data))
+	if n == 0 {
+		return 0, tensor.New(0, 0)
+	}
+	grad := tensor.New(pred.Rows, pred.Cols)
+	var total float64
+	for i, p := range pred.Data {
+		d := target.Data[i] - p
+		if d >= 0 {
+			total += tau * d
+			grad.Data[i] = -tau / n
+		} else {
+			total += (tau - 1) * d
+			grad.Data[i] = (1 - tau) / n
+		}
+	}
+	return total / n, grad
+}

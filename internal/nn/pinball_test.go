@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPinballLossValues(t *testing.T) {
+	pred := tensor.FromRows([][]float64{{0}, {10}})
+	tgt := tensor.FromRows([][]float64{{4}, {4}})
+	// tau=0.5: mean(0.5*4, 0.5*6) = mean(2, 3) = 2.5.
+	l, _ := PinballLoss(0.5, pred, tgt)
+	if math.Abs(l-2.5) > 1e-12 {
+		t.Fatalf("pinball(0.5) = %v, want 2.5", l)
+	}
+	// tau=0.9 penalizes under-prediction 9× more than over-prediction.
+	under, _ := PinballLoss(0.9, tensor.FromRows([][]float64{{0}}), tensor.FromRows([][]float64{{1}}))
+	over, _ := PinballLoss(0.9, tensor.FromRows([][]float64{{2}}), tensor.FromRows([][]float64{{1}}))
+	if math.Abs(under/over-9) > 1e-9 {
+		t.Fatalf("asymmetry %v, want 9", under/over)
+	}
+}
+
+func TestPinballGradientNumeric(t *testing.T) {
+	const h = 1e-6
+	for _, tau := range []float64{0.1, 0.5, 0.9} {
+		for _, p := range []float64{-1.5, 0.3, 2.0} {
+			pred := tensor.FromRows([][]float64{{p}})
+			tgt := tensor.FromRows([][]float64{{0.5}})
+			_, grad := PinballLoss(tau, pred, tgt)
+			lp, _ := PinballLoss(tau, tensor.FromRows([][]float64{{p + h}}), tgt)
+			lm, _ := PinballLoss(tau, tensor.FromRows([][]float64{{p - h}}), tgt)
+			num := (lp - lm) / (2 * h)
+			if math.Abs(grad.Data[0]-num) > 1e-6 {
+				t.Fatalf("tau=%v p=%v: grad %v, numeric %v", tau, p, grad.Data[0], num)
+			}
+		}
+	}
+}
+
+func TestPinballBadTauPanics(t *testing.T) {
+	for _, tau := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tau=%v accepted", tau)
+				}
+			}()
+			PinballLoss(tau, tensor.New(1, 1), tensor.New(1, 1))
+		}()
+	}
+}
+
+// TestPinballRecoversQuantile: a constant model trained with pinball loss
+// must converge to the target distribution's tau-quantile.
+func TestPinballRecoversQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	n := 512
+	samples := make([]float64, n)
+	x := tensor.New(n, 1) // constant input: model output is one number
+	y := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		v := rng.ExpFloat64() * 10 // skewed, like queue times
+		samples[i] = v
+		x.Set(i, 0, 1)
+		y.Set(i, 0, v)
+	}
+	sort.Float64s(samples)
+	for _, tau := range []float64{0.1, 0.5, 0.9} {
+		net := NewNetwork(rand.New(rand.NewSource(41)), DenseSpec(1, 1))
+		tr := Trainer{Net: net, Opt: NewAdam(0.1), Cfg: TrainConfig{
+			Epochs: 300, BatchSize: 128, Workers: 1, Seed: 42,
+			LossFunc: func(p, tg *tensor.Matrix) (float64, *tensor.Matrix) {
+				return PinballLoss(tau, p, tg)
+			},
+		}}
+		tr.Fit(x, y)
+		got := net.Predict1([]float64{1})
+		want := samples[int(tau*float64(n))]
+		if math.Abs(got-want) > want*0.25+1 {
+			t.Fatalf("tau=%v: model %v, empirical quantile %v", tau, got, want)
+		}
+	}
+}

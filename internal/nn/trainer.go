@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls mini-batch training.
+type TrainConfig struct {
+	Loss      LossKind
+	Epochs    int
+	BatchSize int
+	// Workers is the number of data-parallel gradient workers per batch.
+	// 0 means min(GOMAXPROCS, 4); 1 forces the serial path.
+	Workers int
+	// ValFraction holds out the last fraction of the (already shuffled)
+	// training set for early stopping; 0 disables validation.
+	ValFraction float64
+	// Patience is the number of epochs without validation improvement
+	// before stopping early; 0 disables early stopping.
+	Patience int
+	// Silent suppresses the per-epoch callback.
+	OnEpoch func(epoch int, trainLoss, valLoss float64)
+	// Seed drives batch shuffling and worker dropout masks.
+	Seed int64
+	// ClipNorm rescales each batch's gradient so its global L2 norm does
+	// not exceed this value; 0 disables clipping. The paper leans on
+	// smooth-L1 to tame exploding gradients from day-long queue-time
+	// outliers; clipping is the belt to that suspenders.
+	ClipNorm float64
+	// LossFunc, when non-nil, overrides Loss with a custom differentiable
+	// loss (e.g. a PinballLoss closure for quantile regression).
+	LossFunc func(pred, target *tensor.Matrix) (float64, *tensor.Matrix)
+	// LRDecay multiplies the optimizer's learning rate by this factor
+	// after each epoch (a simple exponential schedule); 0 or 1 disables.
+	LRDecay float64
+}
+
+// evalLoss dispatches between the named loss and a custom LossFunc.
+func (c *TrainConfig) evalLoss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if c.LossFunc != nil {
+		return c.LossFunc(pred, target)
+	}
+	return Loss(c.Loss, pred, target)
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Epochs     int
+	FinalLoss  float64
+	BestVal    float64
+	EarlyStops bool
+}
+
+// Trainer trains a network with an optimizer under a TrainConfig.
+type Trainer struct {
+	Net *Network
+	Opt Optimizer
+	Cfg TrainConfig
+}
+
+// Fit runs mini-batch gradient descent on (x, y). Rows of x are samples;
+// y has one row per sample. Gradients for each batch are computed by
+// Cfg.Workers replicas over shards of the batch and summed in worker order,
+// so a run is reproducible for a fixed worker count.
+func (t *Trainer) Fit(x, y *tensor.Matrix) TrainResult {
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("nn: Fit got %d samples but %d targets", x.Rows, y.Rows))
+	}
+	if x.Rows == 0 {
+		return TrainResult{}
+	}
+	cfg := t.Cfg
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Hold out validation rows from the end (callers pass time-ordered
+	// data, so the tail is the "future" — consistent with the paper's
+	// time-based splitting).
+	nVal := 0
+	if cfg.ValFraction > 0 {
+		nVal = int(float64(x.Rows) * cfg.ValFraction)
+	}
+	nTrain := x.Rows - nVal
+	if nTrain <= 0 {
+		nTrain, nVal = x.Rows, 0
+	}
+	var xVal, yVal *tensor.Matrix
+	if nVal > 0 {
+		idx := make([]int, nVal)
+		for i := range idx {
+			idx[i] = nTrain + i
+		}
+		xVal, yVal = x.SelectRows(idx), y.SelectRows(idx)
+	}
+
+	// Data-parallel replicas share the master's architecture.
+	replicas := make([]*Network, workers)
+	replicas[0] = t.Net
+	for w := 1; w < workers; w++ {
+		replicas[w] = t.Net.CloneFor(rand.New(rand.NewSource(cfg.Seed + int64(w))))
+	}
+
+	order := make([]int, nTrain)
+	for i := range order {
+		order[i] = i
+	}
+
+	best := math.Inf(1)
+	badEpochs := 0
+	res := TrainResult{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(nTrain, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var nBatches int
+		for start := 0; start < nTrain; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > nTrain {
+				end = nTrain
+			}
+			batch := order[start:end]
+			epochLoss += t.batchStep(replicas, x, y, batch, cfg.Loss, workers)
+			nBatches++
+		}
+		epochLoss /= float64(nBatches)
+		res.Epochs = epoch + 1
+		res.FinalLoss = epochLoss
+
+		valLoss := math.NaN()
+		if nVal > 0 {
+			pred := t.Net.Predict(xVal)
+			valLoss, _ = cfg.evalLoss(pred, yVal)
+			if valLoss < best-1e-9 {
+				best = valLoss
+				badEpochs = 0
+			} else {
+				badEpochs++
+			}
+			res.BestVal = best
+			if cfg.Patience > 0 && badEpochs >= cfg.Patience {
+				res.EarlyStops = true
+				if cfg.OnEpoch != nil {
+					cfg.OnEpoch(epoch, epochLoss, valLoss)
+				}
+				break
+			}
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, epochLoss, valLoss)
+		}
+		if cfg.LRDecay > 0 && cfg.LRDecay != 1 {
+			t.Opt.SetLR(t.Opt.LR() * cfg.LRDecay)
+		}
+	}
+	return res
+}
+
+// batchStep computes the batch gradient (possibly sharded across replicas),
+// applies one optimizer step to the master network, and returns the batch
+// loss.
+func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []int, loss LossKind, workers int) float64 {
+	if workers <= 1 || len(batch) < 2*workers {
+		xb := x.SelectRows(batch)
+		yb := y.SelectRows(batch)
+		pred := t.Net.Forward(xb, true)
+		l, grad := t.Cfg.evalLoss(pred, yb)
+		t.Net.Backward(grad)
+		clipGradients(t.Net.Params(), t.Cfg.ClipNorm)
+		t.Opt.Step(t.Net.Params())
+		return l
+	}
+
+	// Shard the batch; each replica computes gradients on its shard with
+	// the loss gradient scaled to the shard size, then shard gradients are
+	// combined weighted by shard fraction so the result equals the
+	// full-batch gradient.
+	for w := 1; w < workers; w++ {
+		replicas[w].CopyWeightsFrom(t.Net)
+	}
+	losses := make([]float64, workers)
+	sizes := make([]int, workers)
+	chunk := (len(batch) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, shard []int) {
+			defer wg.Done()
+			xb := x.SelectRows(shard)
+			yb := y.SelectRows(shard)
+			net := replicas[w]
+			pred := net.Forward(xb, true)
+			l, grad := t.Cfg.evalLoss(pred, yb)
+			net.Backward(grad)
+			losses[w] = l
+			sizes[w] = len(shard)
+		}(w, batch[lo:hi])
+	}
+	wg.Wait()
+
+	// Combine: master (replica 0) already holds its own shard's gradient;
+	// scale it and add the others, all weighted by shard fraction.
+	total := float64(len(batch))
+	master := t.Net.Params()
+	for i := range master {
+		w0 := float64(sizes[0]) / total
+		for k := range master[i].Grad.Data {
+			master[i].Grad.Data[k] *= w0
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if sizes[w] == 0 {
+			continue
+		}
+		frac := float64(sizes[w]) / total
+		rp := replicas[w].Params()
+		for i := range master {
+			for k, g := range rp[i].Grad.Data {
+				master[i].Grad.Data[k] += frac * g
+			}
+			rp[i].Grad.Zero()
+		}
+	}
+	clipGradients(master, t.Cfg.ClipNorm)
+	t.Opt.Step(master)
+
+	var l float64
+	for w := 0; w < workers; w++ {
+		l += losses[w] * float64(sizes[w]) / total
+	}
+	return l
+}
+
+// clipGradients rescales all gradients in place so their global L2 norm is
+// at most maxNorm (no-op when maxNorm <= 0 or the norm is already within).
+func clipGradients(params []Param, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+}

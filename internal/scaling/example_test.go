@@ -1,0 +1,16 @@
+package scaling_test
+
+import (
+	"fmt"
+
+	"repro/internal/scaling"
+)
+
+// The paper applies a natural-log transform to every feature to manage the
+// data's skew; ln(1+x) keeps zeros at zero.
+func ExampleNew() {
+	s, _ := scaling.New(scaling.Log1p)
+	fmt.Printf("%.3f\n", s.Transform([]float64{0, 99, 9999}))
+	// Output:
+	// [0.000 4.605 9.210]
+}

@@ -1,0 +1,214 @@
+package scaling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindsConstructAll(t *testing.T) {
+	for _, k := range Kinds() {
+		s, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		if s.Kind() != k {
+			t.Fatalf("Kind() = %s, want %s", s.Kind(), k)
+		}
+	}
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	s, _ := New(None)
+	s.Fit([][]float64{{1, 2}})
+	row := []float64{3.5, -1}
+	out := s.Transform(row)
+	if out[0] != 3.5 || out[1] != -1 {
+		t.Fatalf("None transform = %v", out)
+	}
+	out[0] = 99
+	if row[0] == 99 {
+		t.Fatal("None must copy, not alias")
+	}
+}
+
+func TestLog1p(t *testing.T) {
+	s, _ := New(Log1p)
+	out := s.Transform([]float64{0, math.E - 1, -5})
+	if out[0] != 0 {
+		t.Fatalf("log1p(0) = %v", out[0])
+	}
+	if math.Abs(out[1]-1) > 1e-12 {
+		t.Fatalf("log1p(e-1) = %v", out[1])
+	}
+	if out[2] != 0 {
+		t.Fatalf("negative input should clamp to 0, got %v", out[2])
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s, _ := New(MinMax)
+	s.Fit([][]float64{{0, 10}, {10, 20}, {5, 15}})
+	out := s.Transform([]float64{5, 15})
+	if math.Abs(out[0]-0.5) > 1e-12 || math.Abs(out[1]-0.5) > 1e-12 {
+		t.Fatalf("MinMax transform = %v", out)
+	}
+	// Out-of-range test values extrapolate, by design.
+	out = s.Transform([]float64{20, 10})
+	if out[0] != 2 || out[1] != 0 {
+		t.Fatalf("extrapolated = %v", out)
+	}
+}
+
+func TestMinMaxConstantColumn(t *testing.T) {
+	s, _ := New(MinMax)
+	s.Fit([][]float64{{7}, {7}})
+	out := s.Transform([]float64{7})
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Fatal("constant column produced non-finite output")
+	}
+}
+
+func TestStandard(t *testing.T) {
+	s, _ := New(Standard)
+	rows := [][]float64{{1}, {2}, {3}, {4}}
+	s.Fit(rows)
+	tr := TransformAll(s, rows)
+	var mean float64
+	for _, r := range tr {
+		mean += r[0]
+	}
+	mean /= 4
+	if math.Abs(mean) > 1e-12 {
+		t.Fatalf("standardized mean = %v", mean)
+	}
+	var vr float64
+	for _, r := range tr {
+		vr += r[0] * r[0]
+	}
+	if math.Abs(vr/4-1) > 1e-12 {
+		t.Fatalf("standardized variance = %v", vr/4)
+	}
+}
+
+func TestUnfittedTransformsPassThrough(t *testing.T) {
+	for _, k := range []Kind{MinMax, Standard, BoxCox} {
+		s, _ := New(k)
+		out := s.Transform([]float64{1, 2, 3})
+		if out[0] != 1 || out[2] != 3 {
+			t.Fatalf("%s unfitted transform = %v", k, out)
+		}
+	}
+}
+
+func TestBoxCoxReducesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		// Strongly right-skewed: exp of a normal.
+		rows[i] = []float64{math.Exp(rng.NormFloat64() * 2)}
+	}
+	s, _ := New(BoxCox)
+	s.Fit(rows)
+	tr := TransformAll(s, rows)
+	if skewness(column(tr, 0)) >= skewness(column(rows, 0))/2 {
+		t.Fatal("Box-Cox did not reduce skewness of log-normal data")
+	}
+}
+
+func TestBoxCoxLogCase(t *testing.T) {
+	// λ=0 must behave as log.
+	if math.Abs(boxCox(math.E, 0)-1) > 1e-12 {
+		t.Fatalf("boxCox(e, 0) = %v", boxCox(math.E, 0))
+	}
+	// λ=1 is a pure shift: x-1.
+	if boxCox(5, 1) != 4 {
+		t.Fatalf("boxCox(5,1) = %v", boxCox(5, 1))
+	}
+}
+
+func TestBoxCoxHandlesNonPositive(t *testing.T) {
+	s, _ := New(BoxCox)
+	s.Fit([][]float64{{-3}, {0}, {5}})
+	for _, v := range []float64{-3, 0, 5, -10} {
+		out := s.Transform([]float64{v})
+		if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+			t.Fatalf("Box-Cox(%v) non-finite", v)
+		}
+	}
+}
+
+// Property: every scaler produces finite outputs on finite inputs and
+// preserves row length.
+func TestScalersFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRows := 2 + rng.Intn(20)
+		nCols := 1 + rng.Intn(5)
+		rows := make([][]float64, nRows)
+		for i := range rows {
+			rows[i] = make([]float64, nCols)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64() * 100
+			}
+		}
+		for _, k := range Kinds() {
+			s, err := New(k)
+			if err != nil {
+				return false
+			}
+			s.Fit(rows)
+			for _, r := range rows {
+				out := s.Transform(r)
+				if len(out) != nCols {
+					return false
+				}
+				for _, v := range out {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func column(rows [][]float64, j int) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[j]
+	}
+	return out
+}
+
+func skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}

@@ -1,0 +1,47 @@
+package scaling
+
+import "fmt"
+
+// State is the serializable form of a fitted scaler, so trained model
+// bundles can be saved and reloaded. A and B are per-column parameter
+// vectors whose meaning depends on the kind (min/span, mean/std, λ/shift);
+// stateless scalers leave them nil.
+type State struct {
+	Kind Kind
+	A, B []float64
+}
+
+// StateOf extracts a scaler's fitted state.
+func StateOf(s Scaler) State {
+	switch sc := s.(type) {
+	case *noneScaler:
+		return State{Kind: None}
+	case *logScaler:
+		return State{Kind: Log1p}
+	case *minMaxScaler:
+		return State{Kind: MinMax, A: sc.min, B: sc.span}
+	case *standardScaler:
+		return State{Kind: Standard, A: sc.mean, B: sc.std}
+	case *boxCoxScaler:
+		return State{Kind: BoxCox, A: sc.lambda, B: sc.shift}
+	default:
+		panic(fmt.Sprintf("scaling: unknown scaler type %T", s))
+	}
+}
+
+// FromState reconstructs a fitted scaler.
+func FromState(st State) (Scaler, error) {
+	s, err := New(st.Kind)
+	if err != nil {
+		return nil, err
+	}
+	switch sc := s.(type) {
+	case *minMaxScaler:
+		sc.min, sc.span = st.A, st.B
+	case *standardScaler:
+		sc.mean, sc.std = st.A, st.B
+	case *boxCoxScaler:
+		sc.lambda, sc.shift = st.A, st.B
+	}
+	return s, nil
+}

@@ -1,0 +1,248 @@
+// Package shap implements Kernel SHAP (Lundberg & Lee 2017), the feature
+// attribution method the paper uses to prune its feature set (§III:
+// "features with a SHAP value closer to 0 are less impactful ... and can be
+// removed"). Kernel SHAP estimates Shapley values model-agnostically by
+// fitting a weighted linear model over sampled feature coalitions, with
+// absent features marginalized over a background dataset.
+package shap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Explainer computes SHAP values for a black-box regression function.
+type Explainer struct {
+	// Predict is the model under explanation.
+	Predict func([]float64) float64
+	// Background supplies replacement values for features outside a
+	// coalition; typically a sample of training rows.
+	Background [][]float64
+	// Samples is the number of random coalitions; 0 means 2048.
+	Samples int
+	// BackgroundDraws is how many background rows marginalize each
+	// coalition; 0 means min(16, len(Background)).
+	BackgroundDraws int
+	Seed            int64
+}
+
+// Explain returns per-feature SHAP values φ for x. They satisfy the local
+// accuracy property: Σφ ≈ Predict(x) − E[Predict(background)].
+func (e *Explainer) Explain(x []float64) ([]float64, error) {
+	m := len(x)
+	if m == 0 {
+		return nil, fmt.Errorf("shap: empty input")
+	}
+	if len(e.Background) == 0 {
+		return nil, fmt.Errorf("shap: empty background")
+	}
+	for i, row := range e.Background {
+		if len(row) != m {
+			return nil, fmt.Errorf("shap: background row %d has %d features, want %d", i, len(row), m)
+		}
+	}
+	if e.Predict == nil {
+		return nil, fmt.Errorf("shap: nil predict function")
+	}
+	if m == 1 {
+		// Trivial single-feature case: the value is the full effect.
+		return []float64{e.Predict(x) - e.baseValue()}, nil
+	}
+	samples := e.Samples
+	if samples <= 0 {
+		samples = 2048
+	}
+	draws := e.BackgroundDraws
+	if draws <= 0 || draws > len(e.Background) {
+		draws = len(e.Background)
+		if draws > 16 {
+			draws = 16
+		}
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+
+	f0 := e.baseValue()
+	fx := e.Predict(x)
+
+	// Sample coalitions z (non-empty, non-full), evaluate the masked
+	// prediction, and accumulate the Kernel SHAP weighted least squares.
+	// With the constraint Σφ = fx − f0 folded in by eliminating φ_{M−1},
+	// the regression has M−1 unknowns.
+	dim := m - 1
+	ata := tensor.New(dim, dim)
+	atb := make([]float64, dim)
+	z := make([]bool, m)
+	masked := make([]float64, m)
+	row := make([]float64, dim)
+
+	// Deterministic enumeration of all size-1 and size-(M−1) coalitions
+	// (the highest-weight ones), then random sampling for the rest.
+	addCoalition := func(w float64) {
+		// Masked prediction marginalized over background draws. When the
+		// budget covers the whole background, enumerate it exactly
+		// (deterministic and lower-variance than sampling).
+		var fz float64
+		if draws >= len(e.Background) {
+			for _, bg := range e.Background {
+				fz += e.maskedPredict(z, x, bg, masked)
+			}
+			fz /= float64(len(e.Background))
+		} else {
+			for d := 0; d < draws; d++ {
+				bg := e.Background[rng.Intn(len(e.Background))]
+				fz += e.maskedPredict(z, x, bg, masked)
+			}
+			fz /= float64(draws)
+		}
+
+		zm := 0.0
+		if z[m-1] {
+			zm = 1
+		}
+		for j := 0; j < dim; j++ {
+			zj := 0.0
+			if z[j] {
+				zj = 1
+			}
+			row[j] = zj - zm
+		}
+		target := (fz - f0) - zm*(fx-f0)
+		for a := 0; a < dim; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			wa := w * row[a]
+			arow := ata.Row(a)
+			for b := 0; b < dim; b++ {
+				arow[b] += wa * row[b]
+			}
+			atb[a] += wa * target
+		}
+	}
+
+	kernelWeight := func(size int) float64 {
+		// π(|z|) = (M−1) / (C(M,|z|)·|z|·(M−|z|))
+		return float64(m-1) / (binom(m, size) * float64(size) * float64(m-size))
+	}
+
+	for j := 0; j < m; j++ {
+		for k := range z {
+			z[k] = k == j
+		}
+		addCoalition(kernelWeight(1))
+		for k := range z {
+			z[k] = k != j
+		}
+		addCoalition(kernelWeight(m - 1))
+	}
+	for s := 0; s < samples; s++ {
+		size := 2 + rng.Intn(m-3+1) // sizes 2..M−2 (sizes 1, M−1 enumerated)
+		if m < 4 {
+			break // no interior sizes to sample
+		}
+		perm := rng.Perm(m)
+		for k := range z {
+			z[k] = false
+		}
+		for _, p := range perm[:size] {
+			z[p] = true
+		}
+		addCoalition(kernelWeight(size))
+	}
+
+	// Ridge-stabilize the normal equations slightly.
+	for j := 0; j < dim; j++ {
+		ata.Set(j, j, ata.At(j, j)+1e-9)
+	}
+	phi, err := tensor.Solve(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("shap: solving kernel regression: %w", err)
+	}
+	out := make([]float64, m)
+	copy(out, phi)
+	var sum float64
+	for _, v := range phi {
+		sum += v
+	}
+	out[m-1] = (fx - f0) - sum
+	return out, nil
+}
+
+// maskedPredict evaluates the model with in-coalition features taken from x
+// and the rest from the background row.
+func (e *Explainer) maskedPredict(z []bool, x, bg, scratch []float64) float64 {
+	for j := range z {
+		if z[j] {
+			scratch[j] = x[j]
+		} else {
+			scratch[j] = bg[j]
+		}
+	}
+	return e.Predict(scratch)
+}
+
+// baseValue is E[Predict] over the background.
+func (e *Explainer) baseValue() float64 {
+	var s float64
+	for _, bg := range e.Background {
+		s += e.Predict(bg)
+	}
+	return s / float64(len(e.Background))
+}
+
+// binom computes C(n, k) in floating point.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// MeanAbs summarizes SHAP values across many explained rows into global
+// per-feature importances (mean |φ|), the ranking the paper prunes with.
+func MeanAbs(values [][]float64) []float64 {
+	if len(values) == 0 {
+		return nil
+	}
+	out := make([]float64, len(values[0]))
+	for _, v := range values {
+		for j, p := range v {
+			out[j] += math.Abs(p)
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(values))
+	}
+	return out
+}
+
+// Ranked pairs feature names with mean-|SHAP| scores, sorted descending.
+type Ranked struct {
+	Feature string
+	Score   float64
+}
+
+// Rank builds the sorted global importance table.
+func Rank(names []string, meanAbs []float64) []Ranked {
+	out := make([]Ranked, len(meanAbs))
+	for j, s := range meanAbs {
+		name := ""
+		if j < len(names) {
+			name = names[j]
+		}
+		out[j] = Ranked{Feature: name, Score: s}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}

@@ -1,0 +1,182 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// linearModel is w·x + c; for independent features, exact Shapley values
+// are φ_j = w_j (x_j − E[background_j]).
+func linearModel(w []float64, c float64) func([]float64) float64 {
+	return func(x []float64) float64 {
+		s := c
+		for j, v := range x {
+			s += w[j] * v
+		}
+		return s
+	}
+}
+
+func randomBackground(rng *rand.Rand, n, dim int) [][]float64 {
+	bg := make([][]float64, n)
+	for i := range bg {
+		bg[i] = make([]float64, dim)
+		for j := range bg[i] {
+			bg[i][j] = rng.NormFloat64()
+		}
+	}
+	return bg
+}
+
+func TestLinearModelExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := []float64{3, -2, 0.5, 0, 1}
+	bg := randomBackground(rng, 64, 5)
+	means := make([]float64, 5)
+	for _, row := range bg {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(len(bg))
+	}
+	ex := &Explainer{
+		Predict: linearModel(w, 7), Background: bg,
+		Samples: 4000, BackgroundDraws: 64, Seed: 2,
+	}
+	x := []float64{1, -1, 2, 0.5, -0.25}
+	phi, err := ex.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range w {
+		want := w[j] * (x[j] - means[j])
+		if math.Abs(phi[j]-want) > 0.15 {
+			t.Errorf("phi[%d] = %.4f, want %.4f", j, phi[j], want)
+		}
+	}
+}
+
+// TestLocalAccuracy: Σφ = f(x) − E[f(background)] must hold by construction.
+func TestLocalAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A nonlinear model.
+	model := func(x []float64) float64 {
+		return x[0]*x[1] + math.Sin(x[2]) + 2*x[3]
+	}
+	bg := randomBackground(rng, 32, 4)
+	ex := &Explainer{Predict: model, Background: bg, Samples: 800, Seed: 4}
+	x := []float64{0.5, -1, 2, 0.25}
+	phi, err := ex.Explain(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range phi {
+		sum += p
+	}
+	var f0 float64
+	for _, row := range bg {
+		f0 += model(row)
+	}
+	f0 /= float64(len(bg))
+	if math.Abs(sum-(model(x)-f0)) > 1e-9 {
+		t.Fatalf("Σφ = %.6f, want f(x)−f0 = %.6f", sum, model(x)-f0)
+	}
+}
+
+func TestIrrelevantFeatureNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := func(x []float64) float64 { return 10 * x[0] } // x[1], x[2] unused
+	bg := randomBackground(rng, 32, 3)
+	// Full-background marginalization removes sampling noise, so the
+	// unused features' attributions collapse to ≈0.
+	ex := &Explainer{Predict: model, Background: bg, Samples: 2000, BackgroundDraws: len(bg), Seed: 6}
+	phi, err := ex.Explain([]float64{2, 5, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[1]) > 0.2 || math.Abs(phi[2]) > 0.2 {
+		t.Fatalf("irrelevant features got φ = %.3f, %.3f", phi[1], phi[2])
+	}
+	if phi[0] < 5 {
+		t.Fatalf("relevant feature underweighted: %.3f", phi[0])
+	}
+}
+
+func TestSingleFeature(t *testing.T) {
+	model := func(x []float64) float64 { return 2 * x[0] }
+	ex := &Explainer{Predict: model, Background: [][]float64{{0}, {1}}, Seed: 7}
+	phi, err := ex.Explain([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(x)=6, f0 = mean(0, 2) = 1 → φ = 5.
+	if math.Abs(phi[0]-5) > 1e-12 {
+		t.Fatalf("φ = %v, want 5", phi[0])
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	ex := &Explainer{}
+	if _, err := ex.Explain(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	ex = &Explainer{Predict: func([]float64) float64 { return 0 }}
+	if _, err := ex.Explain([]float64{1}); err == nil {
+		t.Fatal("empty background accepted")
+	}
+	ex = &Explainer{Background: [][]float64{{1}}}
+	if _, err := ex.Explain([]float64{1}); err == nil {
+		t.Fatal("nil predict accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	model := func(x []float64) float64 { return x[0] - x[1]*x[2] }
+	bg := randomBackground(rng, 16, 3)
+	run := func() []float64 {
+		ex := &Explainer{Predict: model, Background: bg, Samples: 300, Seed: 9}
+		phi, err := ex.Explain([]float64{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phi
+	}
+	a, b := run(), run()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("explanations not deterministic")
+		}
+	}
+}
+
+func TestMeanAbsAndRank(t *testing.T) {
+	vals := [][]float64{{1, -2}, {-3, 0}}
+	ma := MeanAbs(vals)
+	if ma[0] != 2 || ma[1] != 1 {
+		t.Fatalf("MeanAbs = %v", ma)
+	}
+	ranked := Rank([]string{"a", "b"}, ma)
+	if ranked[0].Feature != "a" || ranked[1].Feature != "b" {
+		t.Fatalf("Rank = %v", ranked)
+	}
+	if MeanAbs(nil) != nil {
+		t.Fatal("empty MeanAbs should be nil")
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {33, 1, 33}, {10, 0, 1}, {10, 10, 1}, {4, 5, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}

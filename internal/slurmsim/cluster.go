@@ -1,0 +1,186 @@
+// Package slurmsim is an event-driven simulator of a Slurm-scheduled HPC
+// cluster. It substitutes for the proprietary Anvil accounting trace the
+// paper trains on: a synthetic workload is pushed through a scheduler with
+// multifactor priority (age, fair-share, job size, partition tier, QOS) and
+// EASY backfill, and the completed jobs — with their real, scheduler-induced
+// queue times — form the training trace. Partitions may share nodes (as
+// Anvil's CPU partitions do) or be isolated (the GPU partition).
+package slurmsim
+
+import (
+	"fmt"
+)
+
+// NodeSpec describes one node's capacity.
+type NodeSpec struct {
+	CPUs  int
+	MemGB float64
+	GPUs  int
+}
+
+// PartitionSpec describes a partition: a named subset of nodes with a
+// scheduling tier. Exclusive partitions hand out whole nodes (Anvil's
+// "wholenode"/"wide"); non-exclusive partitions pack jobs onto shared nodes.
+type PartitionSpec struct {
+	Name      string
+	Tier      int   // PriorityTier: higher is scheduled first
+	NodeIDs   []int // indexes into ClusterSpec.Nodes; may overlap across partitions
+	Exclusive bool
+	MaxTime   int64 // max requested wall time in seconds (0 = unlimited)
+	// Preemptible marks jobs in this partition as requeue-preemptible by
+	// jobs from higher-tier partitions (Slurm's partition_prio preemption
+	// — Anvil's standby partition works this way).
+	Preemptible bool
+}
+
+// ClusterSpec describes the machine.
+type ClusterSpec struct {
+	Nodes      []NodeSpec
+	Partitions []PartitionSpec
+}
+
+// Validate checks the spec for internal consistency.
+func (c *ClusterSpec) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("slurmsim: cluster has no nodes")
+	}
+	if len(c.Partitions) == 0 {
+		return fmt.Errorf("slurmsim: cluster has no partitions")
+	}
+	seen := map[string]bool{}
+	for _, p := range c.Partitions {
+		if p.Name == "" {
+			return fmt.Errorf("slurmsim: partition with empty name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("slurmsim: duplicate partition %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.NodeIDs) == 0 {
+			return fmt.Errorf("slurmsim: partition %q has no nodes", p.Name)
+		}
+		for _, id := range p.NodeIDs {
+			if id < 0 || id >= len(c.Nodes) {
+				return fmt.Errorf("slurmsim: partition %q references node %d of %d", p.Name, id, len(c.Nodes))
+			}
+		}
+	}
+	return nil
+}
+
+// Partition returns the named partition spec, or nil.
+func (c *ClusterSpec) Partition(name string) *PartitionSpec {
+	for i := range c.Partitions {
+		if c.Partitions[i].Name == name {
+			return &c.Partitions[i]
+		}
+	}
+	return nil
+}
+
+// PartitionTotals aggregates a partition's capacity — these are the paper's
+// static "Par Total *" features (Table II).
+type PartitionTotals struct {
+	Nodes      int
+	CPUs       int
+	MemGB      float64
+	GPUs       int
+	CPUPerNode float64
+	MemPerNode float64
+}
+
+// Totals computes capacity aggregates for the named partition.
+func (c *ClusterSpec) Totals(name string) PartitionTotals {
+	p := c.Partition(name)
+	if p == nil {
+		return PartitionTotals{}
+	}
+	var t PartitionTotals
+	for _, id := range p.NodeIDs {
+		n := c.Nodes[id]
+		t.Nodes++
+		t.CPUs += n.CPUs
+		t.MemGB += n.MemGB
+		t.GPUs += n.GPUs
+	}
+	if t.Nodes > 0 {
+		t.CPUPerNode = float64(t.CPUs) / float64(t.Nodes)
+		t.MemPerNode = t.MemGB / float64(t.Nodes)
+	}
+	return t
+}
+
+// Uniform builds a simple homogeneous cluster: n identical nodes under a
+// single shared partition plus a low-tier preemptible standby partition.
+// Used for the paper's §V transferability experiments (retraining TROUT for
+// a different HPC system).
+func Uniform(n, cpus int, memGB float64, gpus int) ClusterSpec {
+	if n < 1 {
+		n = 1
+	}
+	var spec ClusterSpec
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		spec.Nodes = append(spec.Nodes, NodeSpec{CPUs: cpus, MemGB: memGB, GPUs: gpus})
+		ids[i] = i
+	}
+	const hour = 3600
+	spec.Partitions = []PartitionSpec{
+		{Name: "shared", Tier: 2, NodeIDs: ids, MaxTime: 96 * hour},
+		{Name: "standby", Tier: 1, NodeIDs: ids, MaxTime: 432 * hour, Preemptible: true},
+	}
+	return spec
+}
+
+// AnvilLike builds a scaled-down cluster shaped like Anvil: a pool of
+// 128-core 256 GB CPU nodes shared by the `shared`, `wholenode`, `wide`,
+// `debug` and `standby` partitions, a high-memory pool, and an isolated GPU
+// partition — seven partitions, as the paper's dataset uses. scale=1 gives
+// 32 CPU nodes; the real Anvil has ~1000.
+func AnvilLike(scale int) ClusterSpec {
+	if scale < 1 {
+		scale = 1
+	}
+	nCPU := 32 * scale
+	nHighmem := 2 * scale
+	nGPU := 2 * scale
+	var spec ClusterSpec
+	for i := 0; i < nCPU; i++ {
+		spec.Nodes = append(spec.Nodes, NodeSpec{CPUs: 128, MemGB: 256})
+	}
+	for i := 0; i < nHighmem; i++ {
+		spec.Nodes = append(spec.Nodes, NodeSpec{CPUs: 128, MemGB: 1024})
+	}
+	for i := 0; i < nGPU; i++ {
+		spec.Nodes = append(spec.Nodes, NodeSpec{CPUs: 128, MemGB: 512, GPUs: 4})
+	}
+	cpuIDs := make([]int, nCPU)
+	for i := range cpuIDs {
+		cpuIDs[i] = i
+	}
+	highmemIDs := make([]int, nHighmem)
+	for i := range highmemIDs {
+		highmemIDs[i] = nCPU + i
+	}
+	gpuIDs := make([]int, nGPU)
+	for i := range gpuIDs {
+		gpuIDs[i] = nCPU + nHighmem + i
+	}
+	// Debug gets the first few CPU nodes at a high tier, standby the whole
+	// CPU pool at the lowest tier.
+	debugIDs := cpuIDs
+	if len(debugIDs) > 4 {
+		debugIDs = cpuIDs[:4]
+	}
+	const hour = 3600
+	spec.Partitions = []PartitionSpec{
+		{Name: "shared", Tier: 2, NodeIDs: cpuIDs, MaxTime: 96 * hour},
+		{Name: "wholenode", Tier: 2, NodeIDs: cpuIDs, Exclusive: true, MaxTime: 96 * hour},
+		{Name: "wide", Tier: 2, NodeIDs: cpuIDs, Exclusive: true, MaxTime: 12 * hour},
+		{Name: "highmem", Tier: 2, NodeIDs: highmemIDs, MaxTime: 48 * hour},
+		{Name: "gpu", Tier: 2, NodeIDs: gpuIDs, MaxTime: 48 * hour},
+		{Name: "debug", Tier: 4, NodeIDs: debugIDs, MaxTime: 2 * hour},
+		{Name: "standby", Tier: 1, NodeIDs: cpuIDs, MaxTime: 432 * hour, Preemptible: true},
+	}
+	return spec
+}

@@ -1,0 +1,95 @@
+package slurmsim
+
+import "testing"
+
+func TestDependencyDelaysEligibility(t *testing.T) {
+	// Job 2 depends on job 1; cluster is empty, so job 2's queue time is
+	// zero but its eligibility is job 1's completion.
+	specs := []JobSpec{
+		job(1, 0, 1000, 800, 1),
+		{ID: 2, User: 1, Partition: "shared", Submit: 10, ReqCPUs: 1, ReqMemGB: 1,
+			ReqNodes: 1, TimeLimit: 500, Runtime: 100, DependsOn: 1},
+	}
+	tr, _, err := Run(tinyConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := findJob(tr, 2)
+	if j2.Eligible != 800 {
+		t.Fatalf("dependent eligible at %d, want 800 (dep end)", j2.Eligible)
+	}
+	if j2.Start != 800 {
+		t.Fatalf("dependent started at %d", j2.Start)
+	}
+	if j2.QueueSeconds() != 0 {
+		t.Fatal("waiting on a dependency must not count as queue time")
+	}
+	if j2.DependsOn != 1 {
+		t.Fatal("dependency not recorded in the trace")
+	}
+}
+
+func TestDependencyChain(t *testing.T) {
+	specs := []JobSpec{
+		job(1, 0, 300, 100, 1),
+		{ID: 2, User: 1, Partition: "shared", Submit: 0, ReqCPUs: 1, ReqMemGB: 1,
+			ReqNodes: 1, TimeLimit: 300, Runtime: 100, DependsOn: 1},
+		{ID: 3, User: 1, Partition: "shared", Submit: 0, ReqCPUs: 1, ReqMemGB: 1,
+			ReqNodes: 1, TimeLimit: 300, Runtime: 100, DependsOn: 2},
+	}
+	tr, st, err := Run(tinyConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 3 {
+		t.Fatalf("completed %d", st.Completed)
+	}
+	if findJob(tr, 2).Start != 100 || findJob(tr, 3).Start != 200 {
+		t.Fatalf("chain starts %d, %d; want 100, 200",
+			findJob(tr, 2).Start, findJob(tr, 3).Start)
+	}
+}
+
+func TestDependencyOnLaterJobErrors(t *testing.T) {
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "shared", Submit: 0, ReqCPUs: 1, ReqMemGB: 1,
+			ReqNodes: 1, TimeLimit: 100, Runtime: 50, DependsOn: 2},
+		job(2, 0, 100, 50, 1),
+	}
+	if _, _, err := Run(tinyConfig(), specs); err == nil {
+		t.Fatal("forward dependency accepted")
+	}
+}
+
+func TestDependentOfRejectedJobIsRejected(t *testing.T) {
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "shared", Submit: 0, ReqCPUs: 99, ReqMemGB: 1,
+			ReqNodes: 1, TimeLimit: 100, Runtime: 50}, // infeasible
+		{ID: 2, User: 1, Partition: "shared", Submit: 0, ReqCPUs: 1, ReqMemGB: 1,
+			ReqNodes: 1, TimeLimit: 100, Runtime: 50, DependsOn: 1},
+	}
+	_, st, err := Run(tinyConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != 2 || st.Completed != 0 {
+		t.Fatalf("rejected=%d completed=%d, want 2/0", st.Rejected, st.Completed)
+	}
+}
+
+func TestDependencyRespectsOwnSubmitDelay(t *testing.T) {
+	// Dependency finishes at t=100, but the dependent also has an
+	// eligibility delay pushing it to t=500.
+	specs := []JobSpec{
+		job(1, 0, 300, 100, 1),
+		{ID: 2, User: 1, Partition: "shared", Submit: 0, EligibleDelay: 500,
+			ReqCPUs: 1, ReqMemGB: 1, ReqNodes: 1, TimeLimit: 300, Runtime: 100, DependsOn: 1},
+	}
+	tr, _, err := Run(tinyConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findJob(tr, 2).Eligible != 500 {
+		t.Fatalf("eligible %d, want 500 (max of dep end and begin time)", findJob(tr, 2).Eligible)
+	}
+}

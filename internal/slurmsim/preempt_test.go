@@ -1,0 +1,180 @@
+package slurmsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// preemptCluster: 2 nodes, a high-tier "shared" partition and a
+// low-tier preemptible "standby" partition over the same nodes.
+func preemptCluster() ClusterSpec {
+	return ClusterSpec{
+		Nodes: []NodeSpec{{CPUs: 4, MemGB: 8}, {CPUs: 4, MemGB: 8}},
+		Partitions: []PartitionSpec{
+			{Name: "shared", Tier: 3, NodeIDs: []int{0, 1}},
+			{Name: "standby", Tier: 1, NodeIDs: []int{0, 1}, Preemptible: true},
+		},
+	}
+}
+
+func preemptConfig() Config {
+	return Config{
+		Cluster:           preemptCluster(),
+		Weights:           DefaultPriorityWeights(),
+		FairshareHalfLife: 3600,
+		BackfillDepth:     50,
+		PriorityRefresh:   60,
+	}
+}
+
+func TestPreemptionRequeuesStandbyJob(t *testing.T) {
+	// Standby job fills the cluster for a long time; a shared job arrives
+	// and must preempt it instead of waiting.
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 10000, Runtime: 9000},
+		{ID: 2, User: 2, Partition: "shared", Submit: 100, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 1000, Runtime: 500},
+	}
+	tr, st, err := Run(preemptConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", st.Preemptions)
+	}
+	j2 := findJob(tr, 2)
+	if j2.Start != 100 {
+		t.Fatalf("shared job started at %d, want 100 (via preemption)", j2.Start)
+	}
+	// The standby job must still complete eventually, restarted after the
+	// shared job finishes, with its full runtime.
+	j1 := findJob(tr, 1)
+	if j1 == nil {
+		t.Fatal("preempted job never completed")
+	}
+	if j1.Start < 600 {
+		t.Fatalf("standby job restarted at %d, want >= 600", j1.Start)
+	}
+	if j1.RuntimeSeconds() != 9000 {
+		t.Fatalf("requeued job ran %d s, want the full 9000", j1.RuntimeSeconds())
+	}
+	if st.Completed != 2 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+}
+
+func TestNoPreemptionOfNonPreemptible(t *testing.T) {
+	cfg := preemptConfig()
+	cfg.Cluster.Partitions[1].Preemptible = false
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 10000, Runtime: 9000},
+		{ID: 2, User: 2, Partition: "shared", Submit: 100, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 1000, Runtime: 500},
+	}
+	tr, st, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0", st.Preemptions)
+	}
+	if findJob(tr, 2).Start != 9000 {
+		t.Fatalf("shared job started at %d, want 9000 (waiting)", findJob(tr, 2).Start)
+	}
+}
+
+func TestPreemptionDisabledByConfig(t *testing.T) {
+	cfg := preemptConfig()
+	cfg.DisablePreemption = true
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 10000, Runtime: 9000},
+		{ID: 2, User: 2, Partition: "shared", Submit: 100, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 1000, Runtime: 500},
+	}
+	_, st, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 0 {
+		t.Fatalf("preemptions = %d with preemption disabled", st.Preemptions)
+	}
+}
+
+func TestSameTierDoesNotPreempt(t *testing.T) {
+	cfg := preemptConfig()
+	cfg.Cluster.Partitions[0].Tier = 1 // same tier as standby
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 10000, Runtime: 9000},
+		{ID: 2, User: 2, Partition: "shared", Submit: 100, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 1000, Runtime: 500},
+	}
+	_, st, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 0 {
+		t.Fatalf("same-tier preemption happened (%d)", st.Preemptions)
+	}
+}
+
+func TestPreemptionTakesMinimalVictims(t *testing.T) {
+	// Four 2-CPU standby jobs fill the cluster; a 2-CPU shared job needs
+	// only one victim.
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 2, ReqMemGB: 2, ReqNodes: 1, TimeLimit: 10000, Runtime: 9000},
+		{ID: 2, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 2, ReqMemGB: 2, ReqNodes: 1, TimeLimit: 10000, Runtime: 9000},
+		{ID: 3, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 2, ReqMemGB: 2, ReqNodes: 1, TimeLimit: 10000, Runtime: 9000},
+		{ID: 4, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 2, ReqMemGB: 2, ReqNodes: 1, TimeLimit: 10000, Runtime: 9000},
+		{ID: 5, User: 2, Partition: "shared", Submit: 100, ReqCPUs: 2, ReqMemGB: 2, ReqNodes: 1, TimeLimit: 1000, Runtime: 500},
+	}
+	tr, st, err := Run(preemptConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want exactly 1", st.Preemptions)
+	}
+	if findJob(tr, 5).Start != 100 {
+		t.Fatal("shared job did not start via preemption")
+	}
+	if st.Completed != 5 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+}
+
+// TestPreemptionConservation: random mixed workload with preemption on —
+// every feasible job still completes exactly once and records stay valid.
+func TestPreemptionConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	var specs []JobSpec
+	var clock int64
+	for i := 0; i < 400; i++ {
+		clock += rng.Int63n(30)
+		part := "shared"
+		if rng.Float64() < 0.4 {
+			part = "standby"
+		}
+		limit := int64(100 + rng.Intn(3000))
+		specs = append(specs, JobSpec{
+			ID: i + 1, User: rng.Intn(6), Partition: part, Submit: clock,
+			ReqCPUs: 1 + rng.Intn(4), ReqMemGB: 1 + rng.Float64()*3,
+			ReqNodes: 1, TimeLimit: limit, Runtime: 1 + rng.Int63n(limit),
+		})
+	}
+	tr, st, err := Run(preemptConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed+st.Rejected != len(specs) {
+		t.Fatalf("completed %d + rejected %d != %d", st.Completed, st.Rejected, len(specs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := range tr.Jobs {
+		if seen[tr.Jobs[i].ID] {
+			t.Fatalf("job %d completed twice", tr.Jobs[i].ID)
+		}
+		seen[tr.Jobs[i].ID] = true
+	}
+	if st.Preemptions == 0 {
+		t.Log("note: random workload produced no preemptions (not an error)")
+	}
+}

@@ -1,0 +1,672 @@
+package slurmsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// JobSpec is a job submitted to the simulator. Runtime is the job's true
+// wall time (unknown to the scheduler, which sees only TimeLimit).
+type JobSpec struct {
+	ID            int
+	User          int
+	Partition     string
+	Submit        int64
+	EligibleDelay int64 // seconds after submit before the job may start
+	ReqCPUs       int
+	ReqMemGB      float64
+	ReqNodes      int
+	ReqGPUs       int
+	TimeLimit     int64
+	Runtime       int64
+	QOS           int
+	Interactive   bool
+	// DependsOn holds the ID of a job that must complete before this one
+	// becomes eligible (Slurm --dependency=afterany). Must reference an
+	// earlier job ID; 0 means no dependency. This is one of the reasons
+	// the paper keys features off *eligibility* rather than submit time.
+	DependsOn int
+}
+
+// Config configures a simulation run.
+type Config struct {
+	Cluster ClusterSpec
+	Weights PriorityWeights
+	// FairshareHalfLife is the usage decay half-life in seconds.
+	FairshareHalfLife int64
+	// BackfillDepth bounds how many pending jobs past the blocked one each
+	// scheduling pass considers (Slurm's bf_max_job_test). 0 means 100.
+	BackfillDepth int
+	// PriorityRefresh is how often (sim seconds) the pending queue is
+	// re-sorted purely because age factors drifted. 0 means 300.
+	PriorityRefresh int64
+	// DisablePreemption turns off partition-priority preemption (jobs in
+	// Preemptible partitions being requeued by higher-tier jobs).
+	DisablePreemption bool
+	// DisableBackfill turns off EASY backfill: once the top pending job
+	// is blocked, nothing behind it may start (strict priority order).
+	DisableBackfill bool
+}
+
+// DefaultConfig returns a config with an Anvil-like cluster at the given
+// scale and fair-share-dominant weights.
+func DefaultConfig(scale int) Config {
+	return Config{
+		Cluster:           AnvilLike(scale),
+		Weights:           DefaultPriorityWeights(),
+		FairshareHalfLife: 7 * 24 * 3600,
+		BackfillDepth:     100,
+		PriorityRefresh:   300,
+	}
+}
+
+// Stats summarizes a simulation run.
+type Stats struct {
+	Completed      int
+	Rejected       int // jobs whose request exceeds partition capacity
+	Events         int
+	SchedulePasses int
+	BackfillStarts int
+	MaxPending     int
+	Preemptions    int // requeue preemptions of lower-tier jobs
+	// BusyCPUSeconds integrates requested CPUs over run time; with
+	// FirstEvent/LastEvent it yields the realized utilization.
+	BusyCPUSeconds float64
+	FirstEvent     int64
+	LastEvent      int64
+}
+
+// UtilizationCPU returns realized CPU utilization: busy CPU-seconds over
+// capacity × simulated span. Returns 0 when the span is empty.
+func (s Stats) UtilizationCPU(totalCPUs int) float64 {
+	span := float64(s.LastEvent - s.FirstEvent)
+	if span <= 0 || totalCPUs <= 0 {
+		return 0
+	}
+	return s.BusyCPUSeconds / (span * float64(totalCPUs))
+}
+
+// alloc records the nodes a running job occupies and the per-node slice.
+type alloc struct {
+	nodeIDs   []int
+	cpus      int // per node
+	memGB     float64
+	gpus      int
+	exclusive bool
+}
+
+// simJob is a job's scheduling state.
+type simJob struct {
+	spec       JobSpec
+	part       *PartitionSpec
+	eligible   int64
+	start      int64
+	end        int64
+	alloc      alloc
+	priority   float64 // live priority, refreshed each sort
+	initPrio   int64   // priority at eligibility — recorded in the trace
+	backfilled bool
+	// runEpoch invalidates stale end events after a requeue preemption.
+	runEpoch  int
+	preempted int // times this job was requeued
+}
+
+// event kinds.
+const (
+	evEligible = iota
+	evEnd
+)
+
+type event struct {
+	at    int64
+	kind  int
+	job   *simJob
+	seq   int
+	epoch int // for evEnd: the job run this event belongs to
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind // eligible before end at equal times? ends first frees resources
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// nodeState tracks a node's free capacity.
+type nodeState struct {
+	freeCPUs  int
+	freeMemGB float64
+	freeGPUs  int
+	busyJobs  int
+}
+
+// Simulator runs jobs through the scheduler.
+type Simulator struct {
+	cfg       Config
+	nodes     []nodeState
+	running   map[int]*simJob // by job ID
+	pending   []*simJob
+	events    eventHeap
+	seq       int
+	fs        *fairshare
+	nUsers    int
+	totalCPUs int
+	maxTier   int
+	stats     Stats
+	lastSort  int64
+	dirty     bool
+	requeued  []*simJob         // preemption victims awaiting re-queue this pass
+	waiting   map[int][]*simJob // dependents keyed by the job they wait for
+	out       []trace.Job
+}
+
+// New builds a simulator for the config.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BackfillDepth <= 0 {
+		cfg.BackfillDepth = 100
+	}
+	if cfg.PriorityRefresh <= 0 {
+		cfg.PriorityRefresh = 300
+	}
+	if cfg.FairshareHalfLife <= 0 {
+		cfg.FairshareHalfLife = 7 * 24 * 3600
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		running: map[int]*simJob{},
+		waiting: map[int][]*simJob{},
+		fs:      newFairshare(cfg.FairshareHalfLife),
+	}
+	for _, n := range cfg.Cluster.Nodes {
+		s.nodes = append(s.nodes, nodeState{freeCPUs: n.CPUs, freeMemGB: n.MemGB, freeGPUs: n.GPUs})
+		s.totalCPUs += n.CPUs
+	}
+	for _, p := range cfg.Cluster.Partitions {
+		if p.Tier > s.maxTier {
+			s.maxTier = p.Tier
+		}
+	}
+	if s.maxTier == 0 {
+		s.maxTier = 1
+	}
+	return s, nil
+}
+
+// Run simulates the given jobs and returns the completed-job trace. The
+// event loop drains fully: arrivals stop when specs run out, then the queue
+// empties.
+func Run(cfg Config, specs []JobSpec) (*trace.Trace, Stats, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	users := map[int]bool{}
+	for i := range specs {
+		users[specs[i].User] = true
+	}
+	s.nUsers = len(users)
+
+	accepted := map[int]bool{}
+	for i := range specs {
+		sp := specs[i]
+		part := cfg.Cluster.Partition(sp.Partition)
+		if part == nil {
+			return nil, s.stats, fmt.Errorf("slurmsim: job %d targets unknown partition %q", sp.ID, sp.Partition)
+		}
+		if sp.DependsOn != 0 && sp.DependsOn >= sp.ID {
+			return nil, s.stats, fmt.Errorf("slurmsim: job %d depends on %d (must be an earlier job)", sp.ID, sp.DependsOn)
+		}
+		if err := s.checkFeasible(sp, part); err != nil {
+			s.stats.Rejected++
+			continue
+		}
+		if sp.DependsOn != 0 && !accepted[sp.DependsOn] {
+			// Slurm holds jobs whose dependency can never be satisfied;
+			// accounting-wise they end up cancelled.
+			s.stats.Rejected++
+			continue
+		}
+		accepted[sp.ID] = true
+		j := &simJob{spec: sp, part: part, eligible: sp.Submit + sp.EligibleDelay}
+		if sp.DependsOn != 0 {
+			s.waiting[sp.DependsOn] = append(s.waiting[sp.DependsOn], j)
+			continue
+		}
+		s.push(event{at: j.eligible, kind: evEligible, job: j})
+	}
+
+	if len(s.events) > 0 {
+		s.stats.FirstEvent = s.events[0].at
+	}
+	for len(s.events) > 0 {
+		now := s.events[0].at
+		s.stats.LastEvent = now
+		// Drain all events at this instant, ends first (Less orders
+		// eligible<end, so handle explicitly: process everything at
+		// `now`, applying ends before starts inside the batch).
+		var batch []event
+		for len(s.events) > 0 && s.events[0].at == now {
+			batch = append(batch, heap.Pop(&s.events).(event))
+		}
+		for _, ev := range batch {
+			// A stale end event (the job was preempted and requeued
+			// since it was scheduled) is a no-op.
+			if ev.kind == evEnd && ev.epoch == ev.job.runEpoch {
+				s.finish(ev.job, now)
+			}
+		}
+		for _, ev := range batch {
+			if ev.kind == evEligible {
+				s.stats.Events++
+				s.pending = append(s.pending, ev.job)
+				ev.job.initPrio = int64(s.jobPriority(ev.job, now))
+				s.dirty = true
+			}
+		}
+		s.schedule(now)
+	}
+	tr := &trace.Trace{Jobs: s.out}
+	tr.SortByEligible()
+	return tr, s.stats, nil
+}
+
+func (s *Simulator) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// checkFeasible rejects jobs that could never run on their partition.
+func (s *Simulator) checkFeasible(sp JobSpec, part *PartitionSpec) error {
+	if sp.ReqNodes <= 0 || sp.ReqCPUs <= 0 || sp.ReqMemGB <= 0 || sp.TimeLimit <= 0 || sp.Runtime < 0 {
+		return fmt.Errorf("invalid request")
+	}
+	if part.MaxTime > 0 && sp.TimeLimit > part.MaxTime {
+		return fmt.Errorf("time limit exceeds partition max")
+	}
+	if sp.ReqNodes > len(part.NodeIDs) {
+		return fmt.Errorf("more nodes than partition has")
+	}
+	cpus, mem, gpus := perNodeAsk(sp)
+	fits := 0
+	for _, id := range part.NodeIDs {
+		n := s.cfg.Cluster.Nodes[id]
+		if n.CPUs >= cpus && n.MemGB >= mem && n.GPUs >= gpus {
+			fits++
+		}
+	}
+	if fits < sp.ReqNodes {
+		return fmt.Errorf("per-node request exceeds node capacity")
+	}
+	return nil
+}
+
+// perNodeAsk converts a job's aggregate request into a per-node slice.
+func perNodeAsk(sp JobSpec) (cpus int, memGB float64, gpus int) {
+	cpus = (sp.ReqCPUs + sp.ReqNodes - 1) / sp.ReqNodes
+	memGB = sp.ReqMemGB / float64(sp.ReqNodes)
+	gpus = (sp.ReqGPUs + sp.ReqNodes - 1) / sp.ReqNodes
+	return
+}
+
+// finish releases a completed job and charges fair-share usage.
+func (s *Simulator) finish(j *simJob, now int64) {
+	s.stats.Events++
+	for _, id := range j.alloc.nodeIDs {
+		n := &s.nodes[id]
+		if j.alloc.exclusive {
+			spec := s.cfg.Cluster.Nodes[id]
+			n.freeCPUs = spec.CPUs
+			n.freeMemGB = spec.MemGB
+			n.freeGPUs = spec.GPUs
+		} else {
+			n.freeCPUs += j.alloc.cpus
+			n.freeMemGB += j.alloc.memGB
+			n.freeGPUs += j.alloc.gpus
+		}
+		n.busyJobs--
+	}
+	delete(s.running, j.spec.ID)
+	s.stats.BusyCPUSeconds += float64(j.spec.ReqCPUs) * float64(now-j.start)
+	s.fs.Charge(j.spec.User, float64(j.spec.ReqCPUs)*float64(now-j.start), now)
+	s.dirty = true
+
+	state := trace.StateCompleted
+	if j.spec.Runtime >= j.spec.TimeLimit {
+		state = trace.StateTimeout
+	}
+	s.out = append(s.out, trace.Job{
+		ID: j.spec.ID, User: j.spec.User, Partition: j.spec.Partition, State: state,
+		Submit: j.spec.Submit, Eligible: j.eligible, Start: j.start, End: now,
+		ReqCPUs: j.spec.ReqCPUs, ReqMemGB: j.spec.ReqMemGB, ReqNodes: j.spec.ReqNodes,
+		ReqGPUs: j.spec.ReqGPUs, TimeLimit: j.spec.TimeLimit,
+		Priority: j.initPrio, QOS: j.spec.QOS, Interactive: j.spec.Interactive,
+		DependsOn: j.spec.DependsOn,
+	})
+	s.stats.Completed++
+
+	// Release dependents: they become eligible now (or at their own
+	// submit+delay, whichever is later).
+	for _, w := range s.waiting[j.spec.ID] {
+		el := w.spec.Submit + w.spec.EligibleDelay
+		if now > el {
+			el = now
+		}
+		w.eligible = el
+		s.push(event{at: el, kind: evEligible, job: w})
+	}
+	delete(s.waiting, j.spec.ID)
+}
+
+// tryAlloc attempts a first-fit allocation for j on its partition using the
+// given node states. It returns the chosen node IDs or nil.
+func (s *Simulator) tryAlloc(nodes []nodeState, j *simJob) []int {
+	cpus, mem, gpus := perNodeAsk(j.spec)
+	var chosen []int
+	for _, id := range j.part.NodeIDs {
+		n := &nodes[id]
+		if j.part.Exclusive {
+			spec := s.cfg.Cluster.Nodes[id]
+			if n.busyJobs > 0 || n.freeCPUs != spec.CPUs {
+				continue
+			}
+		}
+		if n.freeCPUs >= cpus && n.freeMemGB >= mem && n.freeGPUs >= gpus {
+			chosen = append(chosen, id)
+			if len(chosen) == j.spec.ReqNodes {
+				return chosen
+			}
+		}
+	}
+	return nil
+}
+
+// startJob commits an allocation and schedules the job's end event.
+func (s *Simulator) startJob(j *simJob, nodeIDs []int, now int64) {
+	cpus, mem, gpus := perNodeAsk(j.spec)
+	j.alloc = alloc{nodeIDs: nodeIDs, cpus: cpus, memGB: mem, gpus: gpus, exclusive: j.part.Exclusive}
+	for _, id := range nodeIDs {
+		n := &s.nodes[id]
+		if j.part.Exclusive {
+			n.freeCPUs = 0
+			n.freeMemGB = 0
+			n.freeGPUs = 0
+		} else {
+			n.freeCPUs -= cpus
+			n.freeMemGB -= mem
+			n.freeGPUs -= gpus
+		}
+		n.busyJobs++
+	}
+	j.start = now
+	run := j.spec.Runtime
+	if run > j.spec.TimeLimit {
+		run = j.spec.TimeLimit // the scheduler kills jobs at their limit
+	}
+	j.end = now + run
+	s.running[j.spec.ID] = j
+	s.push(event{at: j.end, kind: evEnd, job: j, epoch: j.runEpoch})
+}
+
+// releaseAlloc returns a running job's resources to the cluster without
+// recording completion (the requeue half of a preemption).
+func (s *Simulator) releaseAlloc(j *simJob) {
+	for _, id := range j.alloc.nodeIDs {
+		n := &s.nodes[id]
+		if j.alloc.exclusive {
+			spec := s.cfg.Cluster.Nodes[id]
+			n.freeCPUs = spec.CPUs
+			n.freeMemGB = spec.MemGB
+			n.freeGPUs = spec.GPUs
+		} else {
+			n.freeCPUs += j.alloc.cpus
+			n.freeMemGB += j.alloc.memGB
+			n.freeGPUs += j.alloc.gpus
+		}
+		n.busyJobs--
+	}
+	delete(s.running, j.spec.ID)
+	j.alloc = alloc{}
+}
+
+// chargePartialRun records the CPU time a preemption victim consumed before
+// being requeued (accounted for utilization but not fair share, mirroring
+// sites that do not charge users for preempted work).
+func (s *Simulator) chargePartialRun(j *simJob, now int64) {
+	s.stats.BusyCPUSeconds += float64(j.spec.ReqCPUs) * float64(now-j.start)
+}
+
+// tryPreempt attempts to start j by requeueing running jobs from
+// lower-tier Preemptible partitions (Slurm partition_prio preemption).
+// Only the highest-priority blocked job may preempt, and victims are chosen
+// newest-start-first to minimize lost work. Returns true if j was started.
+func (s *Simulator) tryPreempt(j *simJob, now int64) bool {
+	if s.cfg.DisablePreemption {
+		return false
+	}
+	var victims []*simJob
+	for _, r := range s.running {
+		if r.part.Preemptible && r.part.Tier < j.part.Tier {
+			victims = append(victims, r)
+		}
+	}
+	if len(victims) == 0 {
+		return false
+	}
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].start != victims[b].start {
+			return victims[a].start > victims[b].start // newest first
+		}
+		return victims[a].spec.ID > victims[b].spec.ID
+	})
+	// Simulate releases on scratch state until j fits.
+	scratch := make([]nodeState, len(s.nodes))
+	copy(scratch, s.nodes)
+	needed := -1
+	for k, v := range victims {
+		for _, id := range v.alloc.nodeIDs {
+			n := &scratch[id]
+			if v.alloc.exclusive {
+				spec := s.cfg.Cluster.Nodes[id]
+				n.freeCPUs = spec.CPUs
+				n.freeMemGB = spec.MemGB
+				n.freeGPUs = spec.GPUs
+			} else {
+				n.freeCPUs += v.alloc.cpus
+				n.freeMemGB += v.alloc.memGB
+				n.freeGPUs += v.alloc.gpus
+			}
+			n.busyJobs--
+		}
+		if s.tryAlloc(scratch, j) != nil {
+			needed = k
+			break
+		}
+	}
+	if needed == -1 {
+		return false
+	}
+	// Commit: requeue the victims, then start j for real. Victims are
+	// parked on s.requeued because schedule() is compacting s.pending in
+	// place around this call; it re-queues them after the pass.
+	for _, v := range victims[:needed+1] {
+		s.chargePartialRun(v, now)
+		s.releaseAlloc(v)
+		v.runEpoch++
+		v.preempted++
+		s.requeued = append(s.requeued, v)
+		s.stats.Preemptions++
+	}
+	ids := s.tryAlloc(s.nodes, j)
+	if ids == nil {
+		// Should not happen: scratch said it fits.
+		return false
+	}
+	s.startJob(j, ids, now)
+	return true
+}
+
+// schedule runs one scheduling pass: start pending jobs in priority order,
+// compute an EASY-backfill reservation for the first blocked job, and let
+// later jobs backfill if they cannot delay it.
+func (s *Simulator) schedule(now int64) {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.stats.SchedulePasses++
+	if len(s.pending) > s.stats.MaxPending {
+		s.stats.MaxPending = len(s.pending)
+	}
+	if s.dirty || now-s.lastSort >= s.cfg.PriorityRefresh {
+		for _, j := range s.pending {
+			j.priority = s.jobPriority(j, now)
+		}
+		// Slurm evaluation order: partition tier, priority, submit, ID.
+		sort.SliceStable(s.pending, func(a, b int) bool {
+			ja, jb := s.pending[a], s.pending[b]
+			if ja.part.Tier != jb.part.Tier {
+				return ja.part.Tier > jb.part.Tier
+			}
+			if ja.priority != jb.priority {
+				return ja.priority > jb.priority
+			}
+			if ja.spec.Submit != jb.spec.Submit {
+				return ja.spec.Submit < jb.spec.Submit
+			}
+			return ja.spec.ID < jb.spec.ID
+		})
+		s.lastSort = now
+		s.dirty = false
+	}
+
+	var (
+		reserved      bool
+		shadowTime    int64
+		reservedNodes map[int]bool
+		tested        int
+	)
+	remaining := s.pending[:0]
+	for qi, j := range s.pending {
+		if reserved && (s.cfg.DisableBackfill || tested >= s.cfg.BackfillDepth) {
+			remaining = append(remaining, s.pending[qi:]...)
+			break
+		}
+		nodeIDs := s.tryAlloc(s.nodes, j)
+		if nodeIDs != nil && reserved {
+			// Backfill test: must finish before the shadow time or
+			// avoid the reserved nodes entirely.
+			tested++
+			ok := now+j.spec.TimeLimit <= shadowTime
+			if !ok {
+				ok = true
+				for _, id := range nodeIDs {
+					if reservedNodes[id] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				remaining = append(remaining, j)
+				continue
+			}
+			j.backfilled = true
+			s.stats.BackfillStarts++
+		}
+		if nodeIDs != nil {
+			s.startJob(j, nodeIDs, now)
+			s.dirty = true
+			continue
+		}
+		if !reserved {
+			// The top blocked job may preempt lower-tier preemptible
+			// jobs before settling for a reservation.
+			if s.tryPreempt(j, now) {
+				s.dirty = true
+				continue
+			}
+			reserved = true
+			shadowTime, reservedNodes = s.computeShadow(j, now)
+		} else {
+			tested++
+		}
+		remaining = append(remaining, j)
+	}
+	// Zero the tail so released jobs do not leak via the shared array.
+	for i := len(remaining); i < len(s.pending); i++ {
+		s.pending[i] = nil
+	}
+	s.pending = remaining
+	if len(s.requeued) > 0 {
+		s.pending = append(s.pending, s.requeued...)
+		s.requeued = s.requeued[:0]
+		s.dirty = true
+	}
+}
+
+// computeShadow projects when the blocked job j could start by releasing
+// running jobs in end-time order over a scratch copy of node state. It
+// returns the projected start (shadow) time and the node set j would use.
+func (s *Simulator) computeShadow(j *simJob, now int64) (int64, map[int]bool) {
+	scratch := make([]nodeState, len(s.nodes))
+	copy(scratch, s.nodes)
+	if ids := s.tryAlloc(scratch, j); ids != nil {
+		// Shouldn't happen (caller failed to alloc), but be safe.
+		return now, toSet(ids)
+	}
+	ends := make([]*simJob, 0, len(s.running))
+	for _, r := range s.running {
+		ends = append(ends, r)
+	}
+	sort.Slice(ends, func(a, b int) bool {
+		if ends[a].end != ends[b].end {
+			return ends[a].end < ends[b].end
+		}
+		return ends[a].spec.ID < ends[b].spec.ID
+	})
+	for _, r := range ends {
+		for _, id := range r.alloc.nodeIDs {
+			n := &scratch[id]
+			if r.alloc.exclusive {
+				spec := s.cfg.Cluster.Nodes[id]
+				n.freeCPUs = spec.CPUs
+				n.freeMemGB = spec.MemGB
+				n.freeGPUs = spec.GPUs
+			} else {
+				n.freeCPUs += r.alloc.cpus
+				n.freeMemGB += r.alloc.memGB
+				n.freeGPUs += r.alloc.gpus
+			}
+			n.busyJobs--
+		}
+		if ids := s.tryAlloc(scratch, j); ids != nil {
+			return r.end, toSet(ids)
+		}
+	}
+	// Queue ahead of us never frees enough (e.g. other pending jobs hold
+	// no resources yet): no effective reservation.
+	return 1 << 62, nil
+}
+
+func toSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}

@@ -1,0 +1,51 @@
+package slurmsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUtilizationAccounting(t *testing.T) {
+	// One job using 4 of 8 CPUs for the entire simulated span.
+	specs := []JobSpec{job(1, 0, 1000, 1000, 4)}
+	_, st, err := Run(tinyConfig(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BusyCPUSeconds != 4*1000 {
+		t.Fatalf("busy CPU-seconds = %v", st.BusyCPUSeconds)
+	}
+	// Span is 0..1000 (eligible at 0, end event at 1000).
+	if got := st.UtilizationCPU(8); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestUtilizationEmptyAndZeroCapacity(t *testing.T) {
+	var st Stats
+	if st.UtilizationCPU(8) != 0 {
+		t.Fatal("empty stats should have zero utilization")
+	}
+	st = Stats{BusyCPUSeconds: 100, FirstEvent: 0, LastEvent: 10}
+	if st.UtilizationCPU(0) != 0 {
+		t.Fatal("zero capacity should yield zero utilization")
+	}
+}
+
+func TestUtilizationIncludesPreemptedRuns(t *testing.T) {
+	// Standby job runs 100 s before being preempted, then reruns fully.
+	cfg := preemptConfig()
+	specs := []JobSpec{
+		{ID: 1, User: 1, Partition: "standby", Submit: 0, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 2000, Runtime: 1000},
+		{ID: 2, User: 2, Partition: "shared", Submit: 100, ReqCPUs: 8, ReqMemGB: 2, ReqNodes: 2, TimeLimit: 600, Runtime: 500},
+	}
+	_, st, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 cpus × (100 partial + 1000 rerun + 500 shared) = 12800.
+	want := 8.0 * (100 + 1000 + 500)
+	if math.Abs(st.BusyCPUSeconds-want) > 1e-9 {
+		t.Fatalf("busy CPU-seconds = %v, want %v", st.BusyCPUSeconds, want)
+	}
+}

@@ -1,0 +1,188 @@
+// Package smote implements the class-balancing the paper applies before
+// training the binary classifier (§III): SMOTE oversampling of the minority
+// class (Chawla et al. 2002) — synthetic samples interpolated between a
+// minority point and one of its k nearest minority neighbors — combined with
+// random undersampling of the majority class, yielding artificially balanced
+// classes.
+package smote
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls balancing.
+type Config struct {
+	// K is the neighbor count for SMOTE interpolation; 0 means 5.
+	K int
+	// TargetRatio is the desired minority/majority size ratio after
+	// balancing; 0 means 1.0 (fully balanced).
+	TargetRatio float64
+	// MaxOversample caps synthetic samples per original minority point;
+	// 0 means 10.
+	MaxOversample int
+	Seed          int64
+}
+
+func (c *Config) defaults() {
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.TargetRatio <= 0 {
+		c.TargetRatio = 1
+	}
+	if c.MaxOversample <= 0 {
+		c.MaxOversample = 10
+	}
+}
+
+// Balance returns a balanced dataset: the minority class is oversampled with
+// SMOTE and the majority class randomly undersampled until their ratio is
+// ~TargetRatio. Labels are booleans; the minority class is detected
+// automatically. Output order is shuffled deterministically from Seed.
+func Balance(cfg Config, X [][]float64, y []bool) ([][]float64, []bool, error) {
+	if len(X) != len(y) {
+		return nil, nil, fmt.Errorf("smote: %d samples vs %d labels", len(X), len(y))
+	}
+	if len(X) == 0 {
+		return nil, nil, fmt.Errorf("smote: empty dataset")
+	}
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var minIdx, majIdx []int
+	for i, lbl := range y {
+		if lbl {
+			minIdx = append(minIdx, i)
+		} else {
+			majIdx = append(majIdx, i)
+		}
+	}
+	minLabel := true
+	if len(minIdx) > len(majIdx) {
+		minIdx, majIdx = majIdx, minIdx
+		minLabel = false
+	}
+	if len(minIdx) == 0 {
+		return nil, nil, fmt.Errorf("smote: only one class present")
+	}
+
+	// Geometric-mean target size: oversample the minority and undersample
+	// the majority toward each other rather than inflating the minority
+	// all the way up (keeps synthetic fraction bounded).
+	target := int(math.Sqrt(float64(len(minIdx)) * float64(len(majIdx))))
+	maxMinority := len(minIdx) * (1 + cfg.MaxOversample)
+	if target > maxMinority {
+		target = maxMinority
+	}
+	if target < len(minIdx) {
+		target = len(minIdx)
+	}
+	majTarget := int(float64(target) / cfg.TargetRatio)
+	if majTarget > len(majIdx) {
+		majTarget = len(majIdx)
+	}
+	if majTarget < 1 {
+		majTarget = 1
+	}
+
+	var outX [][]float64
+	var outY []bool
+
+	// Minority originals.
+	for _, i := range minIdx {
+		outX = append(outX, X[i])
+		outY = append(outY, minLabel)
+	}
+	// SMOTE synthetics.
+	need := target - len(minIdx)
+	if need > 0 {
+		synth := synthesize(rng, X, minIdx, cfg.K, need)
+		for _, s := range synth {
+			outX = append(outX, s)
+			outY = append(outY, minLabel)
+		}
+	}
+	// Undersampled majority.
+	perm := rng.Perm(len(majIdx))
+	for _, p := range perm[:majTarget] {
+		outX = append(outX, X[majIdx[p]])
+		outY = append(outY, !minLabel)
+	}
+
+	// Shuffle the combined set.
+	order := rng.Perm(len(outX))
+	shufX := make([][]float64, len(outX))
+	shufY := make([]bool, len(outY))
+	for k, p := range order {
+		shufX[k] = outX[p]
+		shufY[k] = outY[p]
+	}
+	return shufX, shufY, nil
+}
+
+// synthesize creates `need` SMOTE samples by interpolating between minority
+// points and their k nearest minority neighbors.
+func synthesize(rng *rand.Rand, X [][]float64, minIdx []int, k, need int) [][]float64 {
+	if len(minIdx) == 1 {
+		// Degenerate: duplicate the single point with tiny jitter.
+		out := make([][]float64, need)
+		base := X[minIdx[0]]
+		for s := range out {
+			row := make([]float64, len(base))
+			copy(row, base)
+			out[s] = row
+		}
+		return out
+	}
+	if k >= len(minIdx) {
+		k = len(minIdx) - 1
+	}
+	// Precompute k nearest minority neighbors for each minority point
+	// (brute force: minority sets here are small after the paper's 87/13
+	// imbalance is subsampled for training).
+	neighbors := make([][]int, len(minIdx))
+	type dn struct {
+		d   float64
+		idx int
+	}
+	for a := range minIdx {
+		ds := make([]dn, 0, len(minIdx)-1)
+		for b := range minIdx {
+			if a == b {
+				continue
+			}
+			ds = append(ds, dn{dist2(X[minIdx[a]], X[minIdx[b]]), b})
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+		nb := make([]int, k)
+		for i := 0; i < k; i++ {
+			nb[i] = ds[i].idx
+		}
+		neighbors[a] = nb
+	}
+	out := make([][]float64, 0, need)
+	for len(out) < need {
+		a := rng.Intn(len(minIdx))
+		b := neighbors[a][rng.Intn(k)]
+		t := rng.Float64()
+		pa, pb := X[minIdx[a]], X[minIdx[b]]
+		row := make([]float64, len(pa))
+		for j := range row {
+			row[j] = pa[j] + t*(pb[j]-pa[j])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package smote
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// imbalanced builds an 87/13-style dataset like the paper's class skew:
+// majority near origin, minority near (10, 10).
+func imbalanced(rng *rand.Rand, nMaj, nMin int) ([][]float64, []bool) {
+	X := make([][]float64, 0, nMaj+nMin)
+	y := make([]bool, 0, nMaj+nMin)
+	for i := 0; i < nMaj; i++ {
+		X = append(X, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, false)
+	}
+	for i := 0; i < nMin; i++ {
+		X = append(X, []float64{10 + rng.NormFloat64(), 10 + rng.NormFloat64()})
+		y = append(y, true)
+	}
+	return X, y
+}
+
+func counts(y []bool) (pos, neg int) {
+	for _, v := range y {
+		if v {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return
+}
+
+func TestBalanceRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := imbalanced(rng, 870, 130)
+	bx, by, err := Balance(Config{Seed: 2}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := counts(by)
+	ratio := float64(pos) / float64(neg)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("balanced ratio %v (pos=%d neg=%d)", ratio, pos, neg)
+	}
+	if len(bx) != len(by) {
+		t.Fatal("length mismatch")
+	}
+	// Minority grew, majority shrank.
+	if pos <= 130 {
+		t.Fatalf("minority not oversampled: %d", pos)
+	}
+	if neg >= 870 {
+		t.Fatalf("majority not undersampled: %d", neg)
+	}
+}
+
+func TestSyntheticsInterpolateMinority(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := imbalanced(rng, 500, 50)
+	bx, by, err := Balance(Config{Seed: 4}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every synthetic minority sample must lie inside the minority
+	// cluster's bounding box (convexity of interpolation).
+	var lo, hi [2]float64
+	lo[0], lo[1] = math.Inf(1), math.Inf(1)
+	hi[0], hi[1] = math.Inf(-1), math.Inf(-1)
+	for i, lbl := range y {
+		if !lbl {
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			if X[i][j] < lo[j] {
+				lo[j] = X[i][j]
+			}
+			if X[i][j] > hi[j] {
+				hi[j] = X[i][j]
+			}
+		}
+	}
+	for i, lbl := range by {
+		if !lbl {
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			if bx[i][j] < lo[j]-1e-9 || bx[i][j] > hi[j]+1e-9 {
+				t.Fatalf("synthetic sample %v outside minority hull", bx[i])
+			}
+		}
+	}
+}
+
+func TestMinorityDetectionEitherLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Flip: true is the majority here.
+	X, y := imbalanced(rng, 50, 400)
+	bx, by, err := Balance(Config{Seed: 6}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := counts(by)
+	if pos == 0 || neg == 0 {
+		t.Fatal("a class vanished")
+	}
+	ratio := float64(neg) / float64(pos)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("ratio %v with flipped labels", ratio)
+	}
+	_ = bx
+}
+
+func TestSingleClassErrors(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	if _, _, err := Balance(Config{}, X, []bool{true, true}); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestInputErrors(t *testing.T) {
+	if _, _, err := Balance(Config{}, nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := Balance(Config{}, [][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Fatal("mismatched input accepted")
+	}
+}
+
+func TestSingleMinorityPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X := make([][]float64, 0, 21)
+	y := make([]bool, 0, 21)
+	for i := 0; i < 20; i++ {
+		X = append(X, []float64{rng.NormFloat64()})
+		y = append(y, false)
+	}
+	X = append(X, []float64{100})
+	y = append(y, true)
+	bx, by, err := Balance(Config{Seed: 8}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := counts(by)
+	if pos < 1 {
+		t.Fatal("minority vanished")
+	}
+	for i, lbl := range by {
+		if lbl && bx[i][0] != 100 {
+			t.Fatalf("degenerate synthetic %v should clone the single point", bx[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := imbalanced(rng, 300, 40)
+	ax, ay, err := Balance(Config{Seed: 10}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, by, err := Balance(Config{Seed: 10}, X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ax) != len(bx) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range ax {
+		if ay[i] != by[i] || ax[i][0] != bx[i][0] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+}
+
+// Property: balancing never loses the minority class and never inflates the
+// dataset beyond originals + cap.
+func TestBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nMaj := 20 + rng.Intn(200)
+		nMin := 2 + rng.Intn(20)
+		X, y := imbalanced(rng, nMaj, nMin)
+		bx, by, err := Balance(Config{Seed: seed}, X, y)
+		if err != nil {
+			return false
+		}
+		pos, neg := counts(by)
+		if pos == 0 || neg == 0 {
+			return false
+		}
+		return len(bx) <= nMaj+nMin*(1+10)+nMaj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns x solving A·x = b by Gaussian elimination with partial
+// pivoting. A must be square (n×n) and b length n; A and b are not
+// modified. Returns an error for singular systems.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("tensor: Solve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("tensor: Solve got %d-vector for %dx%d system", len(b), n, n)
+	}
+	// Augmented working copy.
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("tensor: singular system (pivot %d)", col)
+		}
+		if pivot != col {
+			pr, cr := m.Row(pivot), m.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		// Eliminate below.
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr, cr := m.Row(r), m.Row(col)
+			for j := col; j < n; j++ {
+				rr[j] -= f * cr[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		row := m.Row(r)
+		s := x[r]
+		for j := r + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[r] = s / row[r]
+	}
+	return x, nil
+}

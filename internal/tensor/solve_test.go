@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	b := []float64{7, -2, 0, 3.5}
+	x, err := Solve(id, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("identity solve changed values: %v", x)
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(New(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	if _, err := Solve(New(2, 2), []float64{1}); err == nil {
+		t.Fatal("wrong-length vector accepted")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	orig := a.Clone()
+	b := []float64{1, 2}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig, 0) {
+		t.Fatal("Solve mutated the matrix")
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve mutated the vector")
+	}
+}
+
+// Property: for random well-conditioned systems, A·Solve(A,b) ≈ b.
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := New(n, n)
+		a.RandN(rng, 1)
+		// Diagonal dominance keeps the system well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sacctFields is the field list this parser expects, matching
+//
+//	sacct --allusers --parsable2 --noconvert \
+//	      --format=JobID,User,Partition,State,Submit,Eligible,Start,End,ReqCPUS,ReqMem,ReqNodes,Timelimit,Priority,QOS
+//
+// — the export an operator would pull from a production Slurm to train
+// TROUT on real history (the paper's own data source).
+var sacctFields = []string{
+	"JobID", "User", "Partition", "State", "Submit", "Eligible", "Start",
+	"End", "ReqCPUS", "ReqMem", "ReqNodes", "Timelimit", "Priority", "QOS",
+}
+
+// ReadSacct parses `sacct --parsable2` output (pipe-separated, header row)
+// into a Trace. Job steps (IDs like "123.batch", "123.0") are skipped;
+// records that never started (cancelled while pending) are skipped; user
+// and QOS strings are interned to integer IDs.
+func ReadSacct(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty sacct input")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), "|")
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, f := range sacctFields {
+		if _, ok := col[f]; !ok {
+			return nil, fmt.Errorf("trace: sacct header missing %q (need --format=%s)",
+				f, strings.Join(sacctFields, ","))
+		}
+	}
+
+	users := map[string]int{}
+	qoses := map[string]int{}
+	intern := func(m map[string]int, key string) int {
+		if id, ok := m[key]; ok {
+			return id
+		}
+		id := len(m) + 1
+		m[key] = id
+		return id
+	}
+
+	t := &Trace{}
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		rec := strings.Split(raw, "|")
+		if len(rec) < len(header) {
+			return nil, fmt.Errorf("trace: sacct line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		get := func(name string) string { return rec[col[name]] }
+
+		jobID := get("JobID")
+		if strings.ContainsAny(jobID, "._+") {
+			continue // job step or array/het component, not the allocation
+		}
+		id, err := strconv.Atoi(jobID)
+		if err != nil {
+			continue // malformed ID: skip rather than abort a huge dump
+		}
+		state := normalizeState(get("State"))
+		start, err1 := parseSacctTime(get("Start"))
+		end, err2 := parseSacctTime(get("End"))
+		if err1 != nil || err2 != nil {
+			continue // never ran (Start/End "Unknown" or "None")
+		}
+		submit, err := parseSacctTime(get("Submit"))
+		if err != nil {
+			return nil, fmt.Errorf("trace: sacct line %d: bad Submit %q", line, get("Submit"))
+		}
+		eligible, err := parseSacctTime(get("Eligible"))
+		if err != nil {
+			eligible = submit
+		}
+		cpus, err := strconv.Atoi(get("ReqCPUS"))
+		if err != nil || cpus <= 0 {
+			continue
+		}
+		nodes, err := strconv.Atoi(get("ReqNodes"))
+		if err != nil || nodes <= 0 {
+			nodes = 1
+		}
+		mem, err := parseSacctMem(get("ReqMem"))
+		if err != nil || mem <= 0 {
+			mem = 1
+		}
+		limit, err := parseSacctDuration(get("Timelimit"))
+		if err != nil || limit <= 0 {
+			continue
+		}
+		prio, _ := strconv.ParseInt(get("Priority"), 10, 64)
+
+		t.Jobs = append(t.Jobs, Job{
+			ID: id, User: intern(users, get("User")), Partition: get("Partition"),
+			State:  state,
+			Submit: submit, Eligible: eligible, Start: start, End: end,
+			ReqCPUs: cpus, ReqMemGB: mem, ReqNodes: nodes,
+			TimeLimit: limit, Priority: prio, QOS: intern(qoses, get("QOS")) - 1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading sacct: %w", err)
+	}
+	if len(t.Jobs) == 0 {
+		return nil, fmt.Errorf("trace: sacct input contained no usable job records")
+	}
+	t.SortByEligible()
+	return t, nil
+}
+
+// normalizeState maps sacct state strings (possibly with suffixes like
+// "CANCELLED by 123") onto the schema's states.
+func normalizeState(s string) JobState {
+	up := strings.ToUpper(s)
+	switch {
+	case strings.HasPrefix(up, "COMPLETED"):
+		return StateCompleted
+	case strings.HasPrefix(up, "TIMEOUT"):
+		return StateTimeout
+	case strings.HasPrefix(up, "CANCELLED"):
+		return StateCancelled
+	case strings.HasPrefix(up, "FAILED"), strings.HasPrefix(up, "OUT_OF_ME"), strings.HasPrefix(up, "NODE_FAIL"):
+		return StateFailed
+	default:
+		return JobState(up)
+	}
+}
+
+// parseSacctTime parses Slurm's ISO-ish timestamps ("2024-03-01T12:34:56")
+// and rejects the "Unknown"/"None" placeholders.
+func parseSacctTime(s string) (int64, error) {
+	switch s {
+	case "", "Unknown", "None", "N/A":
+		return 0, fmt.Errorf("no time")
+	}
+	ts, err := time.Parse("2006-01-02T15:04:05", s)
+	if err != nil {
+		return 0, err
+	}
+	return ts.Unix(), nil
+}
+
+// parseSacctDuration parses Slurm time limits: "[DD-]HH:MM:SS" or "MM:SS".
+func parseSacctDuration(s string) (int64, error) {
+	switch s {
+	case "", "UNLIMITED", "Partition_Limit":
+		return 0, fmt.Errorf("no limit")
+	}
+	var days int64
+	rest := s
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		d, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		days = d
+		rest = s[i+1:]
+	}
+	parts := strings.Split(rest, ":")
+	var h, m, sec int64
+	var err error
+	switch len(parts) {
+	case 3:
+		if h, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return 0, err
+		}
+		if m, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return 0, err
+		}
+		if sec, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+			return 0, err
+		}
+	case 2:
+		if m, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return 0, err
+		}
+		if sec, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("trace: bad duration %q", s)
+	}
+	return days*86400 + h*3600 + m*60 + sec, nil
+}
+
+// parseSacctMem parses ReqMem values like "4000M", "32G", "2T", "512000K",
+// optionally with Slurm's per-node/per-cpu suffixes ("4Gn", "4000Mc"),
+// returning gigabytes. Per-CPU/per-node scaling is left to the caller (the
+// value is taken as the total request).
+func parseSacctMem(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("no mem")
+	}
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "n"), "c")
+	if s == "" {
+		return 0, fmt.Errorf("no mem")
+	}
+	unit := s[len(s)-1]
+	num := s
+	mult := 1.0 / (1 << 10) // bare number: Slurm reports MB by default
+	switch unit {
+	case 'K', 'k':
+		num = s[:len(s)-1]
+		mult = 1.0 / (1 << 20)
+	case 'M', 'm':
+		num = s[:len(s)-1]
+		mult = 1.0 / (1 << 10)
+	case 'G', 'g':
+		num = s[:len(s)-1]
+		mult = 1
+	case 'T', 't':
+		num = s[:len(s)-1]
+		mult = 1 << 10
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}

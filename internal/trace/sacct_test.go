@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sacctHeader = "JobID|User|Partition|State|Submit|Eligible|Start|End|ReqCPUS|ReqMem|ReqNodes|Timelimit|Priority|QOS"
+
+func TestReadSacctBasic(t *testing.T) {
+	in := sacctHeader + "\n" +
+		"101|alice|shared|COMPLETED|2024-03-01T10:00:00|2024-03-01T10:00:00|2024-03-01T10:05:00|2024-03-01T11:05:00|16|32G|1|04:00:00|12345|normal\n" +
+		"101.batch|alice|shared|COMPLETED|2024-03-01T10:00:00|2024-03-01T10:00:00|2024-03-01T10:05:00|2024-03-01T11:05:00|16|32G|1|04:00:00|12345|normal\n" +
+		"102|bob|gpu|TIMEOUT|2024-03-01T10:30:00|2024-03-01T10:40:00|2024-03-01T12:00:00|2024-03-02T12:00:00|32|128000M|1|1-00:00:00|9000|high\n"
+	tr, err := ReadSacct(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("%d jobs (steps must be skipped)", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 101 || j.Partition != "shared" || j.State != StateCompleted {
+		t.Fatalf("job 101 = %+v", j)
+	}
+	if j.QueueSeconds() != 300 {
+		t.Fatalf("queue = %d, want 300", j.QueueSeconds())
+	}
+	if j.ReqMemGB != 32 {
+		t.Fatalf("mem = %v", j.ReqMemGB)
+	}
+	if j.TimeLimit != 4*3600 {
+		t.Fatalf("limit = %d", j.TimeLimit)
+	}
+	g := tr.Jobs[1]
+	if g.State != StateTimeout || g.TimeLimit != 86400 {
+		t.Fatalf("job 102 = %+v", g)
+	}
+	if g.ReqMemGB < 124 || g.ReqMemGB > 126 { // 128000M = 125 GiB
+		t.Fatalf("102 mem = %v", g.ReqMemGB)
+	}
+	// Eligible respected (10:40 vs submit 10:30).
+	if g.Eligible-g.Submit != 600 {
+		t.Fatalf("eligible gap = %d", g.Eligible-g.Submit)
+	}
+	// Distinct users interned to distinct IDs.
+	if tr.Jobs[0].User == tr.Jobs[1].User {
+		t.Fatal("users not interned distinctly")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSacctSkipsNeverStarted(t *testing.T) {
+	in := sacctHeader + "\n" +
+		"201|alice|shared|CANCELLED by 500|2024-03-01T10:00:00|2024-03-01T10:00:00|Unknown|Unknown|4|8G|1|01:00:00|100|normal\n" +
+		"202|alice|shared|COMPLETED|2024-03-01T10:00:00|2024-03-01T10:00:00|2024-03-01T10:01:00|2024-03-01T10:31:00|4|8G|1|01:00:00|100|normal\n"
+	tr, err := ReadSacct(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 || tr.Jobs[0].ID != 202 {
+		t.Fatalf("jobs = %+v", tr.Jobs)
+	}
+}
+
+func TestReadSacctErrors(t *testing.T) {
+	if _, err := ReadSacct(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadSacct(strings.NewReader("JobID|User\n1|a\n")); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+	if _, err := ReadSacct(strings.NewReader(sacctHeader + "\n")); err == nil {
+		t.Fatal("header-only input accepted")
+	}
+	short := sacctHeader + "\n101|alice\n"
+	if _, err := ReadSacct(strings.NewReader(short)); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestParseSacctDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"04:00:00", 14400, false},
+		{"1-00:00:00", 86400, false},
+		{"2-12:30:00", 2*86400 + 12*3600 + 30*60, false},
+		{"30:00", 1800, false},
+		{"UNLIMITED", 0, true},
+		{"", 0, true},
+		{"abc", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseSacctDuration(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("%q: err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("%q = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSacctMem(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"32G", 32},
+		{"4000M", 4000.0 / 1024},
+		{"2T", 2048},
+		{"1048576K", 1},
+		{"4Gn", 4}, // per-node suffix stripped
+		{"512Mc", 0.5},
+	}
+	for _, c := range cases {
+		got, err := parseSacctMem(c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := parseSacctMem(""); err == nil {
+		t.Error("empty mem accepted")
+	}
+}
+
+func TestNormalizeState(t *testing.T) {
+	cases := map[string]JobState{
+		"COMPLETED":        StateCompleted,
+		"TIMEOUT":          StateTimeout,
+		"CANCELLED by 123": StateCancelled,
+		"FAILED":           StateFailed,
+		"OUT_OF_MEMORY":    StateFailed,
+		"NODE_FAIL":        StateFailed,
+	}
+	for in, want := range cases {
+		if got := normalizeState(in); got != want {
+			t.Errorf("%q = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package tscv_test
+
+import (
+	"fmt"
+
+	"repro/internal/tscv"
+)
+
+// The paper's protocol: 5 expanding-window folds with a test window of one
+// sixth of the data (Fig 3), shown here on 60 samples.
+func ExampleSplit() {
+	folds, _ := tscv.Split(60, 5, 1.0/6.0)
+	for i, f := range folds {
+		fmt.Printf("fold %d: train %d samples, test [%d, %d]\n",
+			i+1, len(f.Train), f.Test[0], f.Test[len(f.Test)-1])
+	}
+	// Output:
+	// fold 1: train 10 samples, test [10, 19]
+	// fold 2: train 20 samples, test [20, 29]
+	// fold 3: train 30 samples, test [30, 39]
+	// fold 4: train 40 samples, test [40, 49]
+	// fold 5: train 50 samples, test [50, 59]
+}
+
+func ExampleHoldoutRecent() {
+	f, _ := tscv.HoldoutRecent(100, 0.2)
+	fmt.Printf("train %d, test %d (most recent)\n", len(f.Train), len(f.Test))
+	// Output:
+	// train 80, test 20 (most recent)
+}

@@ -1,0 +1,124 @@
+// Package tscv implements the time-series cross-validation the paper trains
+// with (Fig 3): k expanding-window folds over time-ordered samples, each
+// testing on the slice of data immediately after its training window. It
+// also provides the shuffled split used to demonstrate the burst-leakage
+// problem (§III) and the "most recent fraction" holdout used for the
+// classifier.
+package tscv
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fold is one train/test split. Indices refer to the caller's time-ordered
+// sample slice.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// Split produces k expanding-window folds over n time-ordered samples with
+// a test window of testFraction of the data (the paper: 5 folds, test size
+// one sixth). Fold i trains on everything before its test window, and test
+// windows slide forward so fold k's window ends at the last sample.
+func Split(n, k int, testFraction float64) ([]Fold, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tscv: n must be positive")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("tscv: k must be positive")
+	}
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, fmt.Errorf("tscv: testFraction must be in (0,1)")
+	}
+	testSize := int(float64(n) * testFraction)
+	if testSize < 1 {
+		return nil, fmt.Errorf("tscv: test window is empty for n=%d fraction=%v", n, testFraction)
+	}
+	// First training window: what remains after laying k sliding test
+	// windows end-to-end... the windows advance by `step` so that the
+	// last window ends at n.
+	minTrain := n - k*testSize
+	step := testSize
+	if minTrain < 1 {
+		// Overlap test windows when data is scarce.
+		if n-testSize < k {
+			return nil, fmt.Errorf("tscv: not enough samples (n=%d) for k=%d folds", n, k)
+		}
+		minTrain = (n - testSize) / (k + 1)
+		if minTrain < 1 {
+			minTrain = 1
+		}
+		step = (n - testSize - minTrain) / k
+		if step < 1 {
+			step = 1
+		}
+	}
+	folds := make([]Fold, 0, k)
+	for i := 0; i < k; i++ {
+		var trainEnd int
+		if i == k-1 {
+			trainEnd = n - testSize
+		} else {
+			trainEnd = minTrain + i*step
+			if trainEnd > n-testSize {
+				trainEnd = n - testSize
+			}
+		}
+		testEnd := trainEnd + testSize
+		if testEnd > n {
+			testEnd = n
+		}
+		f := Fold{Train: indexRange(0, trainEnd), Test: indexRange(trainEnd, testEnd)}
+		folds = append(folds, f)
+	}
+	return folds, nil
+}
+
+// HoldoutRecent returns a single split with the most recent fraction of the
+// data as test — the paper's classifier evaluation ("the most recent 20% of
+// jobs ... used as validation and test data").
+func HoldoutRecent(n int, fraction float64) (Fold, error) {
+	if n <= 1 {
+		return Fold{}, fmt.Errorf("tscv: need at least 2 samples")
+	}
+	if fraction <= 0 || fraction >= 1 {
+		return Fold{}, fmt.Errorf("tscv: fraction must be in (0,1)")
+	}
+	cut := n - int(float64(n)*fraction)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	return Fold{Train: indexRange(0, cut), Test: indexRange(cut, n)}, nil
+}
+
+// ShuffledSplit is the leakage-prone split the paper warns about: samples
+// are shuffled before the train/test cut, so burst siblings straddle the
+// boundary and inflate apparent accuracy roughly two-fold.
+func ShuffledSplit(n int, testFraction float64, seed int64) (Fold, error) {
+	if n <= 1 {
+		return Fold{}, fmt.Errorf("tscv: need at least 2 samples")
+	}
+	if testFraction <= 0 || testFraction >= 1 {
+		return Fold{}, fmt.Errorf("tscv: testFraction must be in (0,1)")
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	testSize := int(float64(n) * testFraction)
+	if testSize < 1 {
+		testSize = 1
+	}
+	cut := n - testSize
+	return Fold{Train: perm[:cut], Test: perm[cut:]}, nil
+}
+
+func indexRange(lo, hi int) []int {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return idx
+}

@@ -1,0 +1,180 @@
+package tscv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitPaperShape(t *testing.T) {
+	// Paper: 5 folds, test size one sixth of the dataset.
+	n := 60000
+	folds, err := Split(n, 5, 1.0/6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	testSize := n / 6
+	for i, f := range folds {
+		if len(f.Test) != testSize {
+			t.Fatalf("fold %d test size %d, want %d", i, len(f.Test), testSize)
+		}
+		// Expanding window: training always starts at 0.
+		if f.Train[0] != 0 {
+			t.Fatalf("fold %d train starts at %d", i, f.Train[0])
+		}
+		// Test immediately follows training.
+		if f.Test[0] != f.Train[len(f.Train)-1]+1 {
+			t.Fatalf("fold %d test does not follow train", i)
+		}
+	}
+	// Training windows strictly grow.
+	for i := 1; i < len(folds); i++ {
+		if len(folds[i].Train) <= len(folds[i-1].Train) {
+			t.Fatal("training windows must expand")
+		}
+	}
+	// Last fold's test ends at the final sample.
+	last := folds[4].Test
+	if last[len(last)-1] != n-1 {
+		t.Fatal("last fold must end at the last sample")
+	}
+}
+
+func TestSplitNoFutureInTraining(t *testing.T) {
+	folds, err := Split(1000, 5, 1.0/6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range folds {
+		maxTrain := -1
+		for _, i := range f.Train {
+			if i > maxTrain {
+				maxTrain = i
+			}
+		}
+		for _, i := range f.Test {
+			if i <= maxTrain {
+				t.Fatalf("fold %d: test index %d not after all training (max %d)", fi, i, maxTrain)
+			}
+		}
+	}
+}
+
+func TestSplitSmallN(t *testing.T) {
+	folds, err := Split(20, 5, 1.0/6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range folds {
+		if len(f.Train) == 0 || len(f.Test) == 0 {
+			t.Fatalf("degenerate fold %+v", f)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	cases := []struct {
+		n, k int
+		frac float64
+	}{
+		{0, 5, 0.1}, {10, 0, 0.1}, {10, 2, 0}, {10, 2, 1}, {3, 5, 0.5},
+	}
+	for i, c := range cases {
+		if _, err := Split(c.n, c.k, c.frac); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHoldoutRecent(t *testing.T) {
+	f, err := HoldoutRecent(100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Train) != 80 || len(f.Test) != 20 {
+		t.Fatalf("split %d/%d", len(f.Train), len(f.Test))
+	}
+	if f.Test[0] != 80 || f.Test[19] != 99 {
+		t.Fatal("test must be the most recent block")
+	}
+	if _, err := HoldoutRecent(1, 0.5); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := HoldoutRecent(10, 0); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+}
+
+func TestShuffledSplit(t *testing.T) {
+	f, err := ShuffledSplit(1000, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Train) != 750 || len(f.Test) != 250 {
+		t.Fatalf("split %d/%d", len(f.Train), len(f.Test))
+	}
+	// All indices used exactly once.
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, f.Train...), f.Test...) {
+		if seen[i] {
+			t.Fatalf("index %d duplicated", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatal("indices missing")
+	}
+	// Shuffled: the test set must not be the contiguous tail.
+	contiguous := true
+	for k, i := range f.Test {
+		if i != 750+k {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		t.Fatal("shuffled split degenerated to a time split")
+	}
+	// Deterministic under the same seed.
+	g, _ := ShuffledSplit(1000, 0.25, 7)
+	for i := range f.Test {
+		if f.Test[i] != g.Test[i] {
+			t.Fatal("shuffled split not deterministic")
+		}
+	}
+}
+
+// Property: folds partition cleanly — no test index appears in the fold's
+// training set, and sizes are sane for any valid (n, k).
+func TestSplitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 50 + int(seed%1000+1000)%1000
+		folds, err := Split(n, 5, 1.0/6.0)
+		if err != nil {
+			return false
+		}
+		for _, fd := range folds {
+			if len(fd.Train)+len(fd.Test) > n {
+				return false
+			}
+			inTrain := map[int]bool{}
+			for _, i := range fd.Train {
+				if i < 0 || i >= n {
+					return false
+				}
+				inTrain[i] = true
+			}
+			for _, i := range fd.Test {
+				if i < 0 || i >= n || inTrain[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

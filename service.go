@@ -1,0 +1,215 @@
+package trout
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Service is the paper's §V "user dashboard tool": an HTTP front-end over a
+// trained bundle plus a live queue state. Handlers:
+//
+//	GET  /health          — liveness + model metadata
+//	GET  /predict?job=ID  — Algorithm 1 for a known job in the queue state
+//	POST /predict         — Algorithm 1 for a hypothetical job (JSON spec)
+//	POST /state           — replace the queue state (JSONL-decoded trace)
+//	GET  /features?job=ID — the engineered 33-feature vector (debugging)
+//
+// State updates and predictions are safe for concurrent use.
+type Service struct {
+	bundle *Bundle
+
+	mu    sync.RWMutex
+	state *Trace
+}
+
+// NewService wraps a bundle with an initial queue state (may be empty).
+func NewService(b *Bundle, initial *Trace) (*Service, error) {
+	if b == nil {
+		return nil, fmt.Errorf("trout: service needs a bundle")
+	}
+	if initial == nil {
+		initial = &Trace{}
+	}
+	return &Service{bundle: b, state: initial}, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/features", s.handleFeatures)
+	return mux
+}
+
+// healthResponse is the /health payload.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	CutoffMinutes float64 `json:"cutoff_minutes"`
+	NumFeatures   int     `json:"num_features"`
+	QueueJobs     int     `json:"queue_jobs"`
+	Partitions    int     `json:"partitions"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	n := len(s.state.Jobs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		CutoffMinutes: s.bundle.Model.Cfg.CutoffMinutes,
+		NumFeatures:   s.bundle.Model.NumInputs,
+		QueueJobs:     n,
+		Partitions:    len(s.bundle.Cluster.Partitions),
+	})
+}
+
+// predictRequest is the POST /predict body: a hypothetical job plus the
+// prediction instant.
+type predictRequest struct {
+	At  int64     `json:"at"`
+	Job trace.Job `json:"job"`
+}
+
+// predictResponse is the /predict payload.
+type predictResponse struct {
+	Long    bool    `json:"long"`
+	Prob    float64 `json:"prob"`
+	Minutes float64 `json:"minutes,omitempty"`
+	Message string  `json:"message"`
+	Pending int     `json:"pending_in_snapshot"`
+	Running int     `json:"running_in_snapshot"`
+}
+
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var snap *Snapshot
+	switch r.Method {
+	case http.MethodGet:
+		var jobID int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("job"), "%d", &jobID); err != nil {
+			http.Error(w, "predict: need ?job=<id>", http.StatusBadRequest)
+			return
+		}
+		s.mu.RLock()
+		sn, err := SnapshotFromTrace(s.state, jobID)
+		s.mu.RUnlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		snap = sn
+	case http.MethodPost:
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("predict: bad body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.At == 0 {
+			http.Error(w, "predict: need at (unix seconds)", http.StatusBadRequest)
+			return
+		}
+		if req.Job.Eligible == 0 {
+			req.Job.Eligible = req.At
+		}
+		if req.Job.Submit == 0 {
+			req.Job.Submit = req.At
+		}
+		s.mu.RLock()
+		snap = snapshotAtInstant(s.state, req.At, req.Job)
+		s.mu.RUnlock()
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	pred, err := s.bundle.PredictSnapshot(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Long: pred.Long, Prob: pred.Prob, Minutes: pred.Minutes,
+		Message: pred.Message(s.bundle.Model.Cfg.CutoffMinutes),
+		Pending: len(snap.Pending), Running: len(snap.Running),
+	})
+}
+
+func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	tr, err := trace.ReadJSONL(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("state: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.state = tr
+	n := len(tr.Jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"jobs": n})
+}
+
+func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var jobID int
+	if _, err := fmt.Sscanf(r.URL.Query().Get("job"), "%d", &jobID); err != nil {
+		http.Error(w, "features: need ?job=<id>", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	snap, err := SnapshotFromTrace(s.state, jobID)
+	s.mu.RUnlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	row, err := s.bundle.FeatureRow(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := make(map[string]float64, len(row))
+	for i, v := range row {
+		out[FeatureNames[i]] = v
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// snapshotAtInstant reconstructs queue state at an arbitrary time with the
+// hypothetical job injected as target.
+func snapshotAtInstant(tr *Trace, at int64, target trace.Job) *Snapshot {
+	snap := &Snapshot{Now: at, Target: target}
+	for i := range tr.Jobs {
+		j := tr.Jobs[i]
+		switch {
+		case j.Eligible <= at && at < j.Start:
+			snap.Pending = append(snap.Pending, j)
+		case j.Start <= at && at < j.End:
+			snap.Running = append(snap.Running, j)
+		}
+		if j.Submit >= at-86400 && j.Submit < at {
+			snap.History = append(snap.History, j)
+		}
+	}
+	return snap
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,242 @@
+package trout_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	trout "repro"
+)
+
+// testService spins up the dashboard service over the shared experiment's
+// bundle and trace.
+func testService(t *testing.T) (*httptest.Server, *trout.Experiment) {
+	t.Helper()
+	e := sharedExperiment(t)
+	m, _, err := trout.TrainHoldout(e.Data, e.Pipeline.Model, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trout.NewBundle(m, e.Data, e.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := trout.NewService(b, e.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServiceHealth(t *testing.T) {
+	srv, e := testService(t)
+	var h struct {
+		Status        string  `json:"status"`
+		CutoffMinutes float64 `json:"cutoff_minutes"`
+		NumFeatures   int     `json:"num_features"`
+		QueueJobs     int     `json:"queue_jobs"`
+	}
+	if code := getJSON(t, srv.URL+"/health", &h); code != 200 {
+		t.Fatalf("health status %d", code)
+	}
+	if h.Status != "ok" || h.CutoffMinutes != 10 || h.NumFeatures != len(trout.FeatureNames) {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.QueueJobs != len(e.Trace.Jobs) {
+		t.Fatalf("queue jobs %d", h.QueueJobs)
+	}
+}
+
+func TestServicePredictExistingJob(t *testing.T) {
+	srv, e := testService(t)
+	jobID := e.Trace.Jobs[len(e.Trace.Jobs)/2].ID
+	var p struct {
+		Prob    float64 `json:"prob"`
+		Message string  `json:"message"`
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/predict?job=%d", srv.URL, jobID), &p); code != 200 {
+		t.Fatalf("predict status %d", code)
+	}
+	if p.Prob < 0 || p.Prob > 1 {
+		t.Fatalf("prob %v", p.Prob)
+	}
+	if !strings.Contains(p.Message, "Predicted") {
+		t.Fatalf("message %q", p.Message)
+	}
+}
+
+func TestServicePredictHypothetical(t *testing.T) {
+	srv, e := testService(t)
+	at := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+	body := fmt.Sprintf(`{"at":%d,"job":{"user":3,"partition":"shared","req_cpus":16,"req_mem_gb":32,"req_nodes":1,"time_limit":14400,"priority":5000}}`, at)
+	resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("hypothetical predict status %d", resp.StatusCode)
+	}
+	var p struct {
+		Message string `json:"message"`
+		Running int    `json:"running_in_snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Message == "" {
+		t.Fatal("empty message")
+	}
+}
+
+func TestServicePredictErrors(t *testing.T) {
+	srv, _ := testService(t)
+	var x struct{}
+	if code := getJSON(t, srv.URL+"/predict?job=notanumber", &x); code != http.StatusBadRequest {
+		t.Fatalf("bad job id gave %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/predict?job=99999999", &x); code != http.StatusNotFound {
+		t.Fatalf("missing job gave %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body gave %d", resp.StatusCode)
+	}
+	// Missing `at`.
+	resp, err = http.Post(srv.URL+"/predict", "application/json", strings.NewReader(`{"job":{"partition":"shared"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing at gave %d", resp.StatusCode)
+	}
+}
+
+func TestServiceStateUpdate(t *testing.T) {
+	srv, e := testService(t)
+	// Replace the state with a 100-job slice encoded as JSONL.
+	sub := &trout.Trace{Jobs: e.Trace.Jobs[:100]}
+	var buf bytes.Buffer
+	if err := sub.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/state", "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("state update status %d", resp.StatusCode)
+	}
+	var h struct {
+		QueueJobs int `json:"queue_jobs"`
+	}
+	getJSON(t, srv.URL+"/health", &h)
+	if h.QueueJobs != 100 {
+		t.Fatalf("queue jobs after update %d", h.QueueJobs)
+	}
+}
+
+func TestServiceFeaturesEndpoint(t *testing.T) {
+	srv, e := testService(t)
+	jobID := e.Trace.Jobs[10].ID
+	var feats map[string]float64
+	if code := getJSON(t, fmt.Sprintf("%s/features?job=%d", srv.URL, jobID), &feats); code != 200 {
+		t.Fatalf("features status %d", code)
+	}
+	if len(feats) != len(trout.FeatureNames) {
+		t.Fatalf("%d features", len(feats))
+	}
+	if _, ok := feats["Priority"]; !ok {
+		t.Fatal("missing Priority feature")
+	}
+}
+
+func TestServiceMethodGuards(t *testing.T) {
+	srv, _ := testService(t)
+	resp, err := http.Post(srv.URL+"/health", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /health gave %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /state gave %d", resp.StatusCode)
+	}
+}
+
+// TestServiceConcurrentAccess hammers predictions and state swaps together;
+// run under -race this validates the service's locking.
+func TestServiceConcurrentAccess(t *testing.T) {
+	srv, e := testService(t)
+	jobID := e.Trace.Jobs[len(e.Trace.Jobs)/3].ID
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/predict?job=%d", srv.URL, jobID))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			sub := &trout.Trace{Jobs: e.Trace.Jobs}
+			var buf bytes.Buffer
+			if err := sub.WriteJSONL(&buf); err != nil {
+				return
+			}
+			resp, err := http.Post(srv.URL+"/state", "application/jsonl", &buf)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := trout.NewService(nil, nil); err == nil {
+		t.Fatal("nil bundle accepted")
+	}
+}
