@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt; prints the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race
+
+clean:
+	$(GO) clean ./...

@@ -5,31 +5,96 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/resilience"
 )
 
 // Snapshot is a live queue view used for deployment-side prediction.
 type Snapshot = features.Snapshot
 
 // Bundle is everything the prediction CLI needs: the trained hierarchical
-// model, the runtime predictor that feeds its Pred-Runtime features, and
-// the cluster description the features were engineered against.
+// model, the runtime predictor that feeds its Pred-Runtime features, the
+// cluster description the features were engineered against, and the
+// degraded-mode predictors behind PredictWithFallback.
 type Bundle struct {
 	Model   *core.Model
 	Runtime *features.RuntimePredictor
 	Cluster ClusterSpec
+	// Fallback holds the tier-2/tier-3 predictors the serving path drops
+	// to when the neural network errors or emits non-finite output.
+	Fallback FallbackSpec
+}
+
+// FallbackSpec is the degraded-mode half of a bundle. Either tier may be
+// absent (e.g. bundles written before fallbacks existed); the chain simply
+// skips missing tiers.
+type FallbackSpec struct {
+	// Baseline is the tier-2 gradient-boosted regressor over the same 33
+	// features as the NN, trained on log1p queue minutes — the stand-in
+	// for the paper's XGBoost baseline, kept deliberately independent of
+	// the NN stack so a poisoned network cannot take it down too.
+	Baseline *baselines.GBDT
+	// PartitionMedianMinutes is the tier-3 heuristic: the training-set
+	// median queue time per partition.
+	PartitionMedianMinutes map[string]float64
+	// GlobalMedianMinutes answers for partitions absent from the map.
+	GlobalMedianMinutes float64
+}
+
+// TieredPrediction is a Prediction tagged with the fallback tier that
+// produced it (resilience.TierNN, TierBaseline, or TierHeuristic).
+type TieredPrediction struct {
+	core.Prediction
+	Tier string
+}
+
+// fallbackGBDTConfig keeps the tier-2 model cheap to train and evaluate:
+// it is a safety net, not a contender.
+func fallbackGBDTConfig(seed int64) baselines.GBDTConfig {
+	return baselines.GBDTConfig{
+		Rounds:            40,
+		LearnRate:         0.1,
+		Tree:              baselines.TreeConfig{MaxDepth: 4, MinLeaf: 20},
+		SubsampleFraction: 0.8,
+		Seed:              seed,
+	}
 }
 
 // NewBundle assembles a deployment bundle from a trained model and the
-// dataset it was trained on.
+// dataset it was trained on, fitting the fallback predictors (a small
+// GBDT and per-partition medians) from the same dataset.
 func NewBundle(m *Model, ds *Dataset, cluster *ClusterSpec) (*Bundle, error) {
 	if m == nil || ds == nil || ds.Runtime == nil || cluster == nil {
 		return nil, fmt.Errorf("trout: bundle needs a model, dataset with runtime predictor, and cluster")
 	}
-	return &Bundle{Model: m, Runtime: ds.Runtime, Cluster: *cluster}, nil
+	b := &Bundle{Model: m, Runtime: ds.Runtime, Cluster: *cluster}
+
+	gbdt := baselines.NewGBDT(fallbackGBDTConfig(m.Cfg.Seed + 211))
+	logMinutes := make([]float64, len(ds.QueueMinutes))
+	for i, q := range ds.QueueMinutes {
+		logMinutes[i] = math.Log1p(q)
+	}
+	if err := gbdt.Fit(ds.X, logMinutes); err != nil {
+		return nil, fmt.Errorf("trout: fallback baseline: %w", err)
+	}
+	b.Fallback.Baseline = gbdt
+
+	byPartition := map[string][]float64{}
+	for i := range ds.Jobs {
+		p := ds.Jobs[i].Partition
+		byPartition[p] = append(byPartition[p], ds.QueueMinutes[i])
+	}
+	b.Fallback.PartitionMedianMinutes = make(map[string]float64, len(byPartition))
+	for p, qs := range byPartition {
+		b.Fallback.PartitionMedianMinutes[p] = resilience.Median(qs)
+	}
+	b.Fallback.GlobalMedianMinutes = resilience.Median(ds.QueueMinutes)
+	return b, nil
 }
 
 // PredictSnapshot runs Algorithm 1 on a live queue snapshot.
@@ -45,6 +110,97 @@ func (b *Bundle) PredictSnapshot(snap *Snapshot) (Prediction, error) {
 // the dashboard service's debugging endpoint).
 func (b *Bundle) FeatureRow(snap *Snapshot) ([]float64, error) {
 	return features.SnapshotRow(snap, &b.Cluster, b.Runtime)
+}
+
+// checkPrediction rejects non-finite or out-of-range predictions — the
+// gate each fallback tier must pass before its answer is served.
+func checkPrediction(p core.Prediction) error {
+	if !resilience.Finite(p.Prob, p.Minutes) {
+		return fmt.Errorf("non-finite prediction (prob=%v minutes=%v)", p.Prob, p.Minutes)
+	}
+	if p.Prob < 0 || p.Prob > 1 {
+		return fmt.Errorf("probability %v outside [0, 1]", p.Prob)
+	}
+	if p.Minutes < 0 {
+		return fmt.Errorf("negative minutes %v", p.Minutes)
+	}
+	return nil
+}
+
+// minutesPrediction converts a raw queue-minutes estimate into a
+// Prediction consistent with the hierarchical contract: Long iff the
+// estimate reaches the cutoff, with a smooth pseudo-probability that
+// crosses 0.5 exactly at the cutoff.
+func minutesPrediction(minutes, cutoff float64) core.Prediction {
+	if minutes < 0 || math.IsNaN(minutes) {
+		minutes = 0
+	}
+	p := core.Prediction{Prob: minutes / (minutes + cutoff), Long: minutes >= cutoff}
+	if p.Long {
+		p.Minutes = minutes
+	}
+	return p
+}
+
+// PredictWithFallback runs the tiered prediction chain on a snapshot:
+//
+//	nn        — the hierarchical model (Algorithm 1)
+//	baseline  — the bundled GBDT over the same features
+//	heuristic — the partition-median queue time from training
+//
+// A tier is skipped when it errors, panics, or emits a non-finite or
+// out-of-range value; the answer is tagged with the tier that produced it.
+// Only a snapshot whose feature row cannot be built (e.g. an unknown
+// partition) returns an error — that is a bad request, not a degraded
+// model.
+func (b *Bundle) PredictWithFallback(snap *Snapshot) (TieredPrediction, error) {
+	row, err := features.SnapshotRow(snap, &b.Cluster, b.Runtime)
+	if err != nil {
+		return TieredPrediction{}, err
+	}
+	// A bundle with a corrupt (nil) model still serves the lower tiers;
+	// fall back to the paper's default cutoff for their Long verdicts.
+	cutoff := 10.0
+	if b.Model != nil && b.Model.Cfg.CutoffMinutes > 0 {
+		cutoff = b.Model.Cfg.CutoffMinutes
+	}
+	pred, tier, err := resilience.Run([]resilience.Step[core.Prediction]{
+		{
+			Tier: resilience.TierNN,
+			Predict: func() (core.Prediction, error) {
+				if b.Model == nil {
+					return core.Prediction{}, fmt.Errorf("no model in bundle")
+				}
+				return b.Model.Predict(row), nil
+			},
+			Check: checkPrediction,
+		},
+		{
+			Tier: resilience.TierBaseline,
+			Predict: func() (core.Prediction, error) {
+				if b.Fallback.Baseline == nil {
+					return core.Prediction{}, fmt.Errorf("no baseline predictor in bundle")
+				}
+				return minutesPrediction(math.Expm1(b.Fallback.Baseline.Predict(row)), cutoff), nil
+			},
+			Check: checkPrediction,
+		},
+		{
+			Tier: resilience.TierHeuristic,
+			Predict: func() (core.Prediction, error) {
+				med, ok := b.Fallback.PartitionMedianMinutes[snap.Target.Partition]
+				if !ok {
+					med = b.Fallback.GlobalMedianMinutes
+				}
+				return minutesPrediction(med, cutoff), nil
+			},
+			Check: checkPrediction,
+		},
+	}, nil)
+	if err != nil {
+		return TieredPrediction{}, err
+	}
+	return TieredPrediction{Prediction: pred, Tier: tier}, nil
 }
 
 // SnapshotFromTrace reconstructs the queue state a trace job observed at
@@ -82,11 +238,16 @@ func SnapshotFromTrace(tr *Trace, jobID int) (*Snapshot, error) {
 	return snap, nil
 }
 
-// bundleDTO is the gob wire form of a Bundle.
+// bundleDTO is the gob wire form of a Bundle. The fallback fields are
+// optional on the wire: bundles written before they existed decode with
+// them zero, and the prediction chain skips the missing tiers.
 type bundleDTO struct {
-	Model   []byte
-	Runtime []byte
-	Cluster ClusterSpec
+	Model        []byte
+	Runtime      []byte
+	Cluster      ClusterSpec
+	Baseline     []byte
+	Medians      map[string]float64
+	GlobalMedian float64
 }
 
 // Save writes the bundle.
@@ -99,7 +260,17 @@ func (b *Bundle) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return gob.NewEncoder(w).Encode(bundleDTO{Model: mb.Bytes(), Runtime: rb, Cluster: b.Cluster})
+	dto := bundleDTO{
+		Model: mb.Bytes(), Runtime: rb, Cluster: b.Cluster,
+		Medians:      b.Fallback.PartitionMedianMinutes,
+		GlobalMedian: b.Fallback.GlobalMedianMinutes,
+	}
+	if b.Fallback.Baseline != nil {
+		if dto.Baseline, err = b.Fallback.Baseline.MarshalBinary(); err != nil {
+			return err
+		}
+	}
+	return gob.NewEncoder(w).Encode(dto)
 }
 
 // LoadBundle reads a bundle written by Save.
@@ -116,7 +287,17 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Bundle{Model: m, Runtime: rp, Cluster: dto.Cluster}, nil
+	b := &Bundle{Model: m, Runtime: rp, Cluster: dto.Cluster}
+	if len(dto.Baseline) > 0 {
+		gbdt := &baselines.GBDT{}
+		if err := gbdt.UnmarshalBinary(dto.Baseline); err != nil {
+			return nil, fmt.Errorf("trout: load bundle baseline: %w", err)
+		}
+		b.Fallback.Baseline = gbdt
+	}
+	b.Fallback.PartitionMedianMinutes = dto.Medians
+	b.Fallback.GlobalMedianMinutes = dto.GlobalMedian
+	return b, nil
 }
 
 // SaveFile writes the bundle to a path.

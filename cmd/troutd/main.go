@@ -1,22 +1,32 @@
 // Command troutd serves queue-time predictions over HTTP — the paper's §V
 // plan to "integrate this into a user dashboard tool". It loads a trained
-// bundle and an initial queue state, then answers Algorithm 1 queries.
+// bundle and an initial queue state, then answers Algorithm 1 queries
+// through the bundle's fallback chain (NN → GBDT baseline → partition
+// median), so a corrupted model degrades answers instead of availability.
 //
 //	troutd -bundle trout.bundle -state trace.csv -addr :8642
 //
 //	curl localhost:8642/health
+//	curl localhost:8642/ready
 //	curl localhost:8642/predict?job=4211
 //	curl -X POST localhost:8642/predict -d '{"at":1700500000,"job":{"user":7,
 //	     "partition":"shared","req_cpus":16,"req_mem_gb":32,"req_nodes":1,
 //	     "time_limit":14400}}'
+//
+// SIGINT/SIGTERM mark /ready unavailable and drain in-flight requests for
+// up to -shutdown-grace before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	trout "repro"
@@ -30,6 +40,12 @@ func main() {
 		bundlePath = flag.String("bundle", "trout.bundle", "trained bundle")
 		statePath  = flag.String("state", "", "initial queue state (csv/jsonl trace)")
 		addr       = flag.String("addr", ":8642", "listen address")
+
+		requestTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline (504 past it)")
+		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
+		maxBody        = flag.Int64("max-body", 8<<20, "maximum POST body bytes (413 past it)")
+		maxBadRows     = flag.Int("max-bad-rows", 100, "malformed-record budget for trace ingestion (-1 = unlimited)")
+		shutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -37,35 +53,82 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var tr *trout.Trace
-	if *statePath != "" {
-		f, err := os.Open(*statePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if strings.HasSuffix(*statePath, ".jsonl") {
-			tr, err = trace.ReadJSONL(f)
-		} else {
-			tr, err = trace.ReadCSV(f)
-		}
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+	tr, err := loadState(*statePath, *maxBadRows)
+	if err != nil {
+		log.Fatal(err)
 	}
-	svc, err := trout.NewService(b, tr)
+	svc, err := trout.NewServiceWith(b, tr, trout.ServiceConfig{
+		RequestTimeout:  *requestTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxBadStateRows: *maxBadRows,
+		Logf:            log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      svc.Handler(),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *requestTimeout + 5*time.Second,
+		IdleTimeout:       *idleTimeout,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving on %s (cutoff %.0f min, %d queue jobs)",
 		*addr, b.Model.Cfg.CutoffMinutes, queueLen(tr))
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		// The listener failed outright (e.g. port in use).
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		svc.SetReady(false)
+		log.Printf("signal received; draining in-flight requests for up to %s", *shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("drained; exiting")
+	}
+}
+
+// loadState reads the initial queue state with the tolerant codecs,
+// logging (rather than dying on) corrupt rows within the budget.
+func loadState(path string, maxBadRows int) (*trout.Trace, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tr *trout.Trace
+	var rep *trace.ReadReport
+	if strings.HasSuffix(path, ".jsonl") {
+		tr, rep, err = trace.ReadJSONLTolerant(f, maxBadRows)
+	} else {
+		tr, rep, err = trace.ReadCSVTolerant(f, maxBadRows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep.Skipped > 0 {
+		log.Printf("state %s: skipped %d malformed rows (first: line %d: %s)",
+			path, rep.Skipped, rep.Errors[0].Line, rep.Errors[0].Err)
+	}
+	return tr, nil
 }
 
 func queueLen(tr *trout.Trace) int {

@@ -127,3 +127,46 @@ func (f *Forest) UnmarshalBinary(data []byte) error {
 	}
 	return nil
 }
+
+// gbdtDTO is the gob wire form of a GBDT.
+type gbdtDTO struct {
+	Cfg   GBDTConfig
+	Base  float64
+	Trees [][]byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (g *GBDT) MarshalBinary() ([]byte, error) {
+	dto := gbdtDTO{Cfg: g.Cfg, Base: g.base}
+	for _, t := range g.trees {
+		b, err := t.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		dto.Trees = append(dto.Trees, b)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (g *GBDT) UnmarshalBinary(data []byte) error {
+	var dto gbdtDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return err
+	}
+	g.Cfg = dto.Cfg
+	g.base = dto.Base
+	g.trees = g.trees[:0]
+	for i, tb := range dto.Trees {
+		t := &Tree{}
+		if err := t.UnmarshalBinary(tb); err != nil {
+			return fmt.Errorf("baselines: gbdt tree %d: %w", i, err)
+		}
+		g.trees = append(g.trees, t)
+	}
+	return nil
+}

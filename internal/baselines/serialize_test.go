@@ -79,3 +79,28 @@ func TestEmptyTreeSerialization(t *testing.T) {
 		t.Fatal("empty tree should predict 0")
 	}
 }
+
+func TestGBDTSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := synthData(rng, 300, 4, linearFn, 0.05)
+	g := NewGBDT(GBDTConfig{Rounds: 20, Tree: TreeConfig{MaxDepth: 3}, Seed: 3})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GBDT
+	if err := back.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got, want := back.Predict(X[i]), g.Predict(X[i]); got != want {
+			t.Fatalf("row %d: reloaded %v, original %v", i, got, want)
+		}
+	}
+	if err := back.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -104,6 +105,14 @@ func (p Prediction) Message(cutoff float64) string {
 // Train fits the hierarchical model on the rows of ds selected by trainIdx.
 // The scaler is fit on training rows only.
 func Train(ds *features.Dataset, trainIdx []int, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), ds, trainIdx, cfg)
+}
+
+// TrainCtx is Train with cooperative cancellation: both heads' fits stop
+// between batches once ctx is cancelled. A diverging fit (non-finite losses
+// past the trainer's patience) surfaces as an *nn.DivergenceError instead
+// of silently producing a NaN model.
+func TrainCtx(ctx context.Context, ds *features.Dataset, trainIdx []int, cfg Config) (*Model, error) {
 	if len(trainIdx) < 10 {
 		return nil, fmt.Errorf("core: only %d training samples", len(trainIdx))
 	}
@@ -140,7 +149,7 @@ func Train(ds *features.Dataset, trainIdx []int, cfg Config) (*Model, error) {
 			cx, cy = X, labels
 		}
 	}
-	m.Classifier, err = trainClassifier(cx, cy, dim, cfg)
+	m.Classifier, err = trainClassifier(ctx, cx, cy, dim, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +166,7 @@ func Train(ds *features.Dataset, trainIdx []int, cfg Config) (*Model, error) {
 	if len(rx) < 10 {
 		return nil, fmt.Errorf("core: only %d long jobs to train the regressor", len(rx))
 	}
-	m.Regressor, err = trainRegressor(rx, ry, dim, cfg)
+	m.Regressor, err = trainRegressor(ctx, rx, ry, dim, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +182,7 @@ func toMatrices(X [][]float64, y []float64) (*tensor.Matrix, *tensor.Matrix) {
 	return xm, ym
 }
 
-func trainClassifier(X [][]float64, labels []bool, dim int, cfg Config) (*nn.Network, error) {
+func trainClassifier(ctx context.Context, X [][]float64, labels []bool, dim int, cfg Config) (*nn.Network, error) {
 	h := cfg.Classifier
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	net := nn.NewNetwork(rng, nn.MLPSpecs(dim, h.Hidden, 1, h.Activation, nn.Sigmoid, h.Dropout)...)
@@ -192,11 +201,13 @@ func trainClassifier(X [][]float64, labels []bool, dim int, cfg Config) (*nn.Net
 			Workers: cfg.Workers, Seed: cfg.Seed + 2,
 		},
 	}
-	tr.Fit(xm, ym)
+	if _, err := tr.FitCtx(ctx, xm, ym); err != nil {
+		return nil, fmt.Errorf("core: classifier training: %w", err)
+	}
 	return net, nil
 }
 
-func trainRegressor(X [][]float64, y []float64, dim int, cfg Config) (*nn.Network, error) {
+func trainRegressor(ctx context.Context, X [][]float64, y []float64, dim int, cfg Config) (*nn.Network, error) {
 	h := cfg.Regressor
 	rng := rand.New(rand.NewSource(cfg.Seed + 3))
 	var specs []nn.LayerSpec
@@ -227,7 +238,9 @@ func trainRegressor(X [][]float64, y []float64, dim int, cfg Config) (*nn.Networ
 			Workers: cfg.Workers, Seed: cfg.Seed + 4,
 		},
 	}
-	tr.Fit(xm, ym)
+	if _, err := tr.FitCtx(ctx, xm, ym); err != nil {
+		return nil, fmt.Errorf("core: regressor training: %w", err)
+	}
 	return net, nil
 }
 

@@ -62,7 +62,12 @@ func (d *Dense) Forward(in *tensor.Matrix, train bool) *tensor.Matrix {
 	if in.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense expected %d inputs, got %d", d.In, in.Cols))
 	}
-	d.lastIn = in
+	// Backward-pass caches are only written in training mode, which keeps
+	// inference forward passes read-only — Predict is safe to call from
+	// concurrent goroutines (the serving path relies on this).
+	if train {
+		d.lastIn = in
+	}
 	out := tensor.MatMul(in, d.W)
 	out.AddRowVector(d.B.Data)
 	return out
@@ -103,12 +108,13 @@ func NewActivation(kind ActivationKind) *Activation {
 
 // Forward implements Layer.
 func (a *Activation) Forward(in *tensor.Matrix, train bool) *tensor.Matrix {
-	a.lastIn = in
 	out := tensor.New(in.Rows, in.Cols)
 	for i, v := range in.Data {
 		out.Data[i] = activate(a.Kind, v)
 	}
-	a.lastOut = out
+	if train { // keep inference read-only (concurrent Predict)
+		a.lastIn, a.lastOut = in, out
+	}
 	return out
 }
 
@@ -145,7 +151,10 @@ func NewDropout(rate float64, rng *rand.Rand) *Dropout {
 
 // Forward implements Layer.
 func (d *Dropout) Forward(in *tensor.Matrix, train bool) *tensor.Matrix {
-	if !train || d.Rate == 0 {
+	if !train { // no state write: inference stays read-only
+		return in
+	}
+	if d.Rate == 0 {
 		d.mask = nil
 		return in
 	}
@@ -250,7 +259,9 @@ func (b *BatchNorm) Forward(in *tensor.Matrix, train bool) *tensor.Matrix {
 			or[j] = b.Gamma.Data[j]*xr[j] + b.Beta.Data[j]
 		}
 	}
-	b.lastXhat, b.lastStd = xhat, std
+	if train { // keep inference read-only (concurrent Predict)
+		b.lastXhat, b.lastStd = xhat, std
+	}
 	return out
 }
 

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,6 +40,14 @@ type TrainConfig struct {
 	// LRDecay multiplies the optimizer's learning rate by this factor
 	// after each epoch (a simple exponential schedule); 0 or 1 disables.
 	LRDecay float64
+	// DivergencePatience is the number of divergent events (a non-finite
+	// batch loss, gradient, or validation loss) tolerated before FitCtx
+	// gives up. Each event rolls the network back to the best checkpointed
+	// weights and halves the learning rate; exhausting the budget returns
+	// a *DivergenceError with the rollback already applied. 0 means 3;
+	// negative disables divergence handling entirely (pre-hardening
+	// behavior: NaNs propagate into the weights).
+	DivergencePatience int
 }
 
 // evalLoss dispatches between the named loss and a custom LossFunc.
@@ -55,6 +64,30 @@ type TrainResult struct {
 	FinalLoss  float64
 	BestVal    float64
 	EarlyStops bool
+	// Diverged is true when training was abandoned after exhausting
+	// DivergencePatience; the network holds the best checkpointed weights.
+	Diverged bool
+	// Rollbacks counts checkpoint restores triggered by divergent events.
+	Rollbacks int
+}
+
+// DivergenceError reports a training run abandoned after repeated
+// non-finite losses or gradients. The trainer has already rolled the
+// network back to the best checkpointed weights, so the model remains
+// usable (it just stopped improving).
+type DivergenceError struct {
+	// Epoch is the 0-based epoch during which training gave up.
+	Epoch int
+	// Events is the number of divergent events observed.
+	Events int
+	// LastLoss is the last finite loss seen before giving up (NaN when
+	// training never produced one).
+	LastLoss float64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("nn: training diverged at epoch %d after %d non-finite events (last finite loss %g); rolled back to best checkpoint",
+		e.Epoch, e.Events, e.LastLoss)
 }
 
 // Trainer trains a network with an optimizer under a TrainConfig.
@@ -67,13 +100,24 @@ type Trainer struct {
 // Fit runs mini-batch gradient descent on (x, y). Rows of x are samples;
 // y has one row per sample. Gradients for each batch are computed by
 // Cfg.Workers replicas over shards of the batch and summed in worker order,
-// so a run is reproducible for a fixed worker count.
+// so a run is reproducible for a fixed worker count. Divergence (see
+// TrainConfig.DivergencePatience) is handled by rollback but not reported;
+// use FitCtx to observe it.
 func (t *Trainer) Fit(x, y *tensor.Matrix) TrainResult {
+	res, _ := t.FitCtx(context.Background(), x, y)
+	return res
+}
+
+// FitCtx is Fit with cooperative cancellation and divergence reporting.
+// It stops between batches when ctx is cancelled, returning the partial
+// result alongside ctx.Err(). When the run exhausts its divergence budget
+// it returns the best-checkpoint-restored result and a *DivergenceError.
+func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult, error) {
 	if x.Rows != y.Rows {
 		panic(fmt.Sprintf("nn: Fit got %d samples but %d targets", x.Rows, y.Rows))
 	}
 	if x.Rows == 0 {
-		return TrainResult{}
+		return TrainResult{}, nil
 	}
 	cfg := t.Cfg
 	if cfg.Epochs <= 0 {
@@ -123,23 +167,67 @@ func (t *Trainer) Fit(x, y *tensor.Matrix) TrainResult {
 		order[i] = i
 	}
 
+	// Divergence handling: keep a checkpoint of the best weights seen so
+	// far and roll back to it whenever a non-finite loss or gradient
+	// appears, halving the learning rate to attempt recovery. The budget
+	// of such events is DivergencePatience.
+	patience := cfg.DivergencePatience
+	if patience == 0 {
+		patience = 3
+	}
+	guard := patience > 0
+	var ckpt *Network
+	ckptScore := math.Inf(1)
+	if guard {
+		ckpt = t.Net.CloneFor(rand.New(rand.NewSource(cfg.Seed + 7919)))
+		ckpt.CopyWeightsFrom(t.Net)
+	}
+	lastFinite := math.NaN()
+	events := 0
+	res := TrainResult{}
+	rollback := func() {
+		events++
+		t.Net.CopyWeightsFrom(ckpt)
+		t.Opt.SetLR(t.Opt.LR() / 2)
+		res.Rollbacks++
+	}
+
 	best := math.Inf(1)
 	badEpochs := 0
-	res := TrainResult{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(nTrain, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		var nBatches int
 		for start := 0; start < nTrain; start += cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			end := start + cfg.BatchSize
 			if end > nTrain {
 				end = nTrain
 			}
 			batch := order[start:end]
-			epochLoss += t.batchStep(replicas, x, y, batch, cfg.Loss, workers)
+			l, ok := t.batchStep(replicas, x, y, batch, workers, guard)
+			if !ok {
+				rollback()
+				if events >= patience {
+					res.Diverged = true
+					res.Epochs = epoch + 1
+					return res, &DivergenceError{Epoch: epoch, Events: events, LastLoss: lastFinite}
+				}
+				continue
+			}
+			lastFinite = l
+			epochLoss += l
 			nBatches++
 		}
-		epochLoss /= float64(nBatches)
+		if nBatches == 0 {
+			// Every batch this epoch was rolled back; there is no loss to
+			// report and nothing new to checkpoint.
+			epochLoss = math.NaN()
+		} else {
+			epochLoss /= float64(nBatches)
+		}
 		res.Epochs = epoch + 1
 		res.FinalLoss = epochLoss
 
@@ -147,6 +235,14 @@ func (t *Trainer) Fit(x, y *tensor.Matrix) TrainResult {
 		if nVal > 0 {
 			pred := t.Net.Predict(xVal)
 			valLoss, _ = cfg.evalLoss(pred, yVal)
+			if guard && (math.IsNaN(valLoss) || math.IsInf(valLoss, 0)) {
+				rollback()
+				if events >= patience {
+					res.Diverged = true
+					return res, &DivergenceError{Epoch: epoch, Events: events, LastLoss: lastFinite}
+				}
+				continue
+			}
 			if valLoss < best-1e-9 {
 				best = valLoss
 				badEpochs = 0
@@ -162,6 +258,18 @@ func (t *Trainer) Fit(x, y *tensor.Matrix) TrainResult {
 				break
 			}
 		}
+		// Checkpoint on improvement: validation loss when available,
+		// training loss otherwise.
+		if guard {
+			score := epochLoss
+			if nVal > 0 {
+				score = valLoss
+			}
+			if !math.IsNaN(score) && !math.IsInf(score, 0) && score < ckptScore {
+				ckptScore = score
+				ckpt.CopyWeightsFrom(t.Net)
+			}
+		}
 		if cfg.OnEpoch != nil {
 			cfg.OnEpoch(epoch, epochLoss, valLoss)
 		}
@@ -169,22 +277,32 @@ func (t *Trainer) Fit(x, y *tensor.Matrix) TrainResult {
 			t.Opt.SetLR(t.Opt.LR() * cfg.LRDecay)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // batchStep computes the batch gradient (possibly sharded across replicas),
 // applies one optimizer step to the master network, and returns the batch
-// loss.
-func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []int, loss LossKind, workers int) float64 {
+// loss. With guard set, a non-finite loss or gradient skips the optimizer
+// step, zeroes the accumulated gradients, and returns ok=false so the
+// caller can roll back.
+func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []int, workers int, guard bool) (float64, bool) {
 	if workers <= 1 || len(batch) < 2*workers {
 		xb := x.SelectRows(batch)
 		yb := y.SelectRows(batch)
 		pred := t.Net.Forward(xb, true)
 		l, grad := t.Cfg.evalLoss(pred, yb)
+		if guard && (math.IsNaN(l) || math.IsInf(l, 0)) {
+			zeroGrads(t.Net.Params())
+			return l, false
+		}
 		t.Net.Backward(grad)
+		if guard && !gradsFinite(t.Net.Params()) {
+			zeroGrads(t.Net.Params())
+			return l, false
+		}
 		clipGradients(t.Net.Params(), t.Cfg.ClipNorm)
 		t.Opt.Step(t.Net.Params())
-		return l
+		return l, true
 	}
 
 	// Shard the batch; each replica computes gradients on its shard with
@@ -245,14 +363,37 @@ func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []in
 			rp[i].Grad.Zero()
 		}
 	}
-	clipGradients(master, t.Cfg.ClipNorm)
-	t.Opt.Step(master)
-
 	var l float64
 	for w := 0; w < workers; w++ {
 		l += losses[w] * float64(sizes[w]) / total
 	}
-	return l
+	if guard && ((math.IsNaN(l) || math.IsInf(l, 0)) || !gradsFinite(master)) {
+		zeroGrads(master)
+		return l, false
+	}
+	clipGradients(master, t.Cfg.ClipNorm)
+	t.Opt.Step(master)
+	return l, true
+}
+
+// gradsFinite reports whether every accumulated gradient is finite.
+func gradsFinite(params []Param) bool {
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// zeroGrads clears accumulated gradients after a skipped step, so a
+// poisoned batch cannot leak into the next optimizer update.
+func zeroGrads(params []Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
 }
 
 // clipGradients rescales all gradients in place so their global L2 norm is

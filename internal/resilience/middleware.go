@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// ErrorBody is the structured JSON payload every middleware-generated
+// error response carries, so clients never have to parse free-form text.
+type ErrorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// WriteError writes a structured JSON error response.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: msg, Status: status})
+}
+
+// BodyErrorStatus maps a request-body read/decode error to an HTTP status:
+// 413 when the MaxBytes limit was hit, 400 otherwise.
+func BodyErrorStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// Recover converts handler panics into structured JSON 500s. logf (may be
+// nil) receives a diagnostic line per recovered panic.
+func Recover(next http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if logf != nil {
+					logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				}
+				WriteError(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// MaxBytes caps request-body size at limit bytes (0 disables). Oversized
+// bodies make the handler's reads fail with *http.MaxBytesError, which
+// BodyErrorStatus maps to a 413; bodies whose declared Content-Length
+// already exceeds the limit are rejected up front.
+func MaxBytes(next http.Handler, limit int64) http.Handler {
+	if limit <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.ContentLength > limit {
+			WriteError(w, http.StatusRequestEntityTooLarge,
+				"request body too large")
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// bufferedResponse captures a handler's response so Timeout can discard it
+// if the deadline fires first. Only the handler goroutine touches it until
+// the handler returns; flush runs after that, so no locking is needed.
+type bufferedResponse struct {
+	hdr    http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferedResponse) Header() http.Header {
+	if b.hdr == nil {
+		b.hdr = http.Header{}
+	}
+	return b.hdr
+}
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if b.status == 0 {
+		b.status = status
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	for k, vs := range b.hdr {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body)
+}
+
+// Timeout enforces a per-request deadline: the handler runs with a context
+// that expires after d, and if it has not finished by then the client gets
+// a JSON 504 while the handler's late writes are discarded. A panic in the
+// handler goroutine becomes a JSON 500 (and is logged via logf, may be nil).
+func Timeout(next http.Handler, d time.Duration, logf func(format string, args ...any)) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		// Bound body reads by the same deadline. Without this a handler
+		// goroutine stuck reading a stalled upload holds the request-body
+		// mutex past our 504, and the server's end-of-request bookkeeping
+		// deadlocks on it (net/http's body.Read holds b.mu across the
+		// blocking socket read).
+		// The skew keeps the 504 path winning the race: the stuck read
+		// unblocks just after the deadline response, not just before.
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(time.Now().Add(d + 500*time.Millisecond))
+		buf := &bufferedResponse{}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+					return
+				}
+				close(done)
+			}()
+			next.ServeHTTP(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			// Clear the read deadline so keep-alive reuse of this
+			// connection isn't poisoned by an expired deadline.
+			_ = rc.SetReadDeadline(time.Time{})
+			buf.flush(w)
+		case p := <-panicked:
+			if logf != nil {
+				logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+			}
+			WriteError(w, http.StatusInternalServerError, "internal server error")
+		case <-ctx.Done():
+			WriteError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		}
+	})
+}

@@ -331,33 +331,45 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
 		}
 		line++
-		var j Job
-		var errs [16]error
-		j.ID, errs[0] = strconv.Atoi(rec[0])
-		j.User, errs[1] = strconv.Atoi(rec[1])
-		j.Partition = rec[2]
-		j.State = JobState(rec[3])
-		j.Submit, errs[2] = strconv.ParseInt(rec[4], 10, 64)
-		j.Eligible, errs[3] = strconv.ParseInt(rec[5], 10, 64)
-		j.Start, errs[4] = strconv.ParseInt(rec[6], 10, 64)
-		j.End, errs[5] = strconv.ParseInt(rec[7], 10, 64)
-		j.ReqCPUs, errs[6] = strconv.Atoi(rec[8])
-		j.ReqMemGB, errs[7] = strconv.ParseFloat(rec[9], 64)
-		j.ReqNodes, errs[8] = strconv.Atoi(rec[10])
-		j.ReqGPUs, errs[9] = strconv.Atoi(rec[11])
-		j.TimeLimit, errs[10] = strconv.ParseInt(rec[12], 10, 64)
-		j.Priority, errs[11] = strconv.ParseInt(rec[13], 10, 64)
-		j.QOS, errs[12] = strconv.Atoi(rec[14])
-		j.Interactive, errs[13] = strconv.ParseBool(rec[15])
-		j.DependsOn, errs[14] = strconv.Atoi(rec[16])
-		for _, e := range errs {
-			if e != nil {
-				return nil, fmt.Errorf("trace: CSV line %d: %w", line, e)
-			}
+		j, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
 		}
 		t.Jobs = append(t.Jobs, j)
 	}
 	return t, nil
+}
+
+// parseCSVRecord decodes one WriteCSV-format record into a Job.
+func parseCSVRecord(rec []string) (Job, error) {
+	if len(rec) != len(csvHeader) {
+		return Job{}, fmt.Errorf("record has %d fields, want %d", len(rec), len(csvHeader))
+	}
+	var j Job
+	var errs [16]error
+	j.ID, errs[0] = strconv.Atoi(rec[0])
+	j.User, errs[1] = strconv.Atoi(rec[1])
+	j.Partition = rec[2]
+	j.State = JobState(rec[3])
+	j.Submit, errs[2] = strconv.ParseInt(rec[4], 10, 64)
+	j.Eligible, errs[3] = strconv.ParseInt(rec[5], 10, 64)
+	j.Start, errs[4] = strconv.ParseInt(rec[6], 10, 64)
+	j.End, errs[5] = strconv.ParseInt(rec[7], 10, 64)
+	j.ReqCPUs, errs[6] = strconv.Atoi(rec[8])
+	j.ReqMemGB, errs[7] = strconv.ParseFloat(rec[9], 64)
+	j.ReqNodes, errs[8] = strconv.Atoi(rec[10])
+	j.ReqGPUs, errs[9] = strconv.Atoi(rec[11])
+	j.TimeLimit, errs[10] = strconv.ParseInt(rec[12], 10, 64)
+	j.Priority, errs[11] = strconv.ParseInt(rec[13], 10, 64)
+	j.QOS, errs[12] = strconv.Atoi(rec[14])
+	j.Interactive, errs[13] = strconv.ParseBool(rec[15])
+	j.DependsOn, errs[14] = strconv.Atoi(rec[16])
+	for _, e := range errs {
+		if e != nil {
+			return Job{}, e
+		}
+	}
+	return j, nil
 }
 
 // WriteJSONL writes one JSON object per line.

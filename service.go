@@ -4,61 +4,127 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
+
+// ServiceConfig tunes the dashboard service's resilience envelope. The
+// zero value picks production-safe defaults.
+type ServiceConfig struct {
+	// RequestTimeout bounds each request's handling time; past it the
+	// client receives a JSON 504 and late handler output is discarded.
+	// 0 means 10s; negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps POST bodies (oversized requests get a JSON 413).
+	// 0 means 8 MiB; negative disables the limit.
+	MaxBodyBytes int64
+	// MaxBadStateRows is the malformed-record budget for POST /state:
+	// up to this many undecodable JSONL rows are skipped and reported
+	// rather than failing the upload. 0 means 100; negative is unlimited.
+	MaxBadStateRows int
+	// Logf, when set, receives middleware diagnostics (recovered panics).
+	Logf func(format string, args ...any)
+}
+
+func (c *ServiceConfig) defaults() {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBadStateRows == 0 {
+		c.MaxBadStateRows = 100
+	}
+}
 
 // Service is the paper's §V "user dashboard tool": an HTTP front-end over a
 // trained bundle plus a live queue state. Handlers:
 //
-//	GET  /health          — liveness + model metadata
+//	GET  /health          — liveness + model metadata + fallback-tier counters
+//	GET  /ready           — readiness (503 while draining or not yet serving)
 //	GET  /predict?job=ID  — Algorithm 1 for a known job in the queue state
 //	POST /predict         — Algorithm 1 for a hypothetical job (JSON spec)
 //	POST /state           — replace the queue state (JSONL-decoded trace)
 //	GET  /features?job=ID — the engineered 33-feature vector (debugging)
 //
+// Every request runs behind panic-recovery, per-request deadline, and
+// body-limit middleware; predictions go through the bundle's fallback
+// chain, so a poisoned model degrades answers instead of availability.
 // State updates and predictions are safe for concurrent use.
 type Service struct {
 	bundle *Bundle
+	cfg    ServiceConfig
+	tiers  *resilience.Counters
+	ready  atomic.Bool
 
 	mu    sync.RWMutex
 	state *Trace
 }
 
-// NewService wraps a bundle with an initial queue state (may be empty).
+// NewService wraps a bundle with an initial queue state (may be empty)
+// under the default resilience configuration.
 func NewService(b *Bundle, initial *Trace) (*Service, error) {
+	return NewServiceWith(b, initial, ServiceConfig{})
+}
+
+// NewServiceWith is NewService with an explicit resilience configuration.
+func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, error) {
 	if b == nil {
 		return nil, fmt.Errorf("trout: service needs a bundle")
 	}
 	if initial == nil {
 		initial = &Trace{}
 	}
-	return &Service{bundle: b, state: initial}, nil
+	cfg.defaults()
+	s := &Service{bundle: b, cfg: cfg, tiers: resilience.NewCounters(), state: initial}
+	s.ready.Store(true)
+	return s, nil
 }
 
-// Handler returns the service's HTTP routes.
+// SetReady flips the /ready endpoint; the daemon marks itself unready
+// before draining so load balancers stop routing new traffic.
+func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+
+// FallbackCounters exposes a snapshot of the per-tier prediction counters.
+func (s *Service) FallbackCounters() map[string]uint64 { return s.tiers.Snapshot() }
+
+// Handler returns the service's HTTP routes wrapped in the resilience
+// middleware stack (outermost first): panic recovery, per-request
+// deadline, body limit.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/ready", s.handleReady)
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/features", s.handleFeatures)
-	return mux
+	var h http.Handler = mux
+	h = resilience.MaxBytes(h, s.cfg.MaxBodyBytes)
+	h = resilience.Timeout(h, s.cfg.RequestTimeout, s.cfg.Logf)
+	h = resilience.Recover(h, s.cfg.Logf)
+	return h
 }
 
 // healthResponse is the /health payload.
 type healthResponse struct {
-	Status        string  `json:"status"`
-	CutoffMinutes float64 `json:"cutoff_minutes"`
-	NumFeatures   int     `json:"num_features"`
-	QueueJobs     int     `json:"queue_jobs"`
-	Partitions    int     `json:"partitions"`
+	Status        string            `json:"status"`
+	CutoffMinutes float64           `json:"cutoff_minutes"`
+	NumFeatures   int               `json:"num_features"`
+	QueueJobs     int               `json:"queue_jobs"`
+	Partitions    int               `json:"partitions"`
+	FallbackTiers map[string]uint64 `json:"fallback_tiers"`
+	Degraded      bool              `json:"degraded"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.mu.RLock()
@@ -70,7 +136,36 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		NumFeatures:   s.bundle.Model.NumInputs,
 		QueueJobs:     n,
 		Partitions:    len(s.bundle.Cluster.Partitions),
+		FallbackTiers: s.tiers.Snapshot(),
+		Degraded:      s.tiers.Degraded(resilience.TierNN),
 	})
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !s.ready.Load() {
+		resilience.WriteError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+// parseJobID strictly parses a ?job=ID query parameter: the whole value
+// must be an integer (fmt.Sscanf's tolerance for trailing garbage like
+// "12abc" let malformed requests through as job 12).
+func parseJobID(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("job")
+	if raw == "" {
+		return 0, fmt.Errorf("need ?job=<id>")
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad job id %q", raw)
+	}
+	return id, nil
 }
 
 // predictRequest is the POST /predict body: a hypothetical job plus the
@@ -80,12 +175,14 @@ type predictRequest struct {
 	Job trace.Job `json:"job"`
 }
 
-// predictResponse is the /predict payload.
+// predictResponse is the /predict payload. Tier names the fallback tier
+// that answered ("nn" when the neural network is healthy).
 type predictResponse struct {
 	Long    bool    `json:"long"`
 	Prob    float64 `json:"prob"`
 	Minutes float64 `json:"minutes,omitempty"`
 	Message string  `json:"message"`
+	Tier    string  `json:"tier"`
 	Pending int     `json:"pending_in_snapshot"`
 	Running int     `json:"running_in_snapshot"`
 }
@@ -94,27 +191,27 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var snap *Snapshot
 	switch r.Method {
 	case http.MethodGet:
-		var jobID int
-		if _, err := fmt.Sscanf(r.URL.Query().Get("job"), "%d", &jobID); err != nil {
-			http.Error(w, "predict: need ?job=<id>", http.StatusBadRequest)
+		jobID, err := parseJobID(r)
+		if err != nil {
+			resilience.WriteError(w, http.StatusBadRequest, fmt.Sprintf("predict: %v", err))
 			return
 		}
 		s.mu.RLock()
 		sn, err := SnapshotFromTrace(s.state, jobID)
 		s.mu.RUnlock()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			resilience.WriteError(w, http.StatusNotFound, err.Error())
 			return
 		}
 		snap = sn
 	case http.MethodPost:
 		var req predictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf("predict: bad body: %v", err), http.StatusBadRequest)
+			resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("predict: bad body: %v", err))
 			return
 		}
 		if req.At == 0 {
-			http.Error(w, "predict: need at (unix seconds)", http.StatusBadRequest)
+			resilience.WriteError(w, http.StatusBadRequest, "predict: need at (unix seconds)")
 			return
 		}
 		if req.Job.Eligible == 0 {
@@ -127,59 +224,69 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		snap = snapshotAtInstant(s.state, req.At, req.Job)
 		s.mu.RUnlock()
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
 
-	pred, err := s.bundle.PredictSnapshot(snap)
+	pred, err := s.bundle.PredictWithFallback(snap)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.tiers.Inc(resilience.TierError)
+		resilience.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.tiers.Inc(pred.Tier)
 	writeJSON(w, http.StatusOK, predictResponse{
 		Long: pred.Long, Prob: pred.Prob, Minutes: pred.Minutes,
 		Message: pred.Message(s.bundle.Model.Cfg.CutoffMinutes),
+		Tier:    pred.Tier,
 		Pending: len(snap.Pending), Running: len(snap.Running),
 	})
 }
 
+// stateResponse is the POST /state payload, reporting how the tolerant
+// ingestion went.
+type stateResponse struct {
+	Jobs    int `json:"jobs"`
+	Skipped int `json:"skipped_rows,omitempty"`
+}
+
 func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	tr, err := trace.ReadJSONL(r.Body)
+	tr, rep, err := trace.ReadJSONLTolerant(r.Body, s.cfg.MaxBadStateRows)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("state: %v", err), http.StatusBadRequest)
+		resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("state: %v", err))
 		return
 	}
 	s.mu.Lock()
 	s.state = tr
 	n := len(tr.Jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]int{"jobs": n})
+	writeJSON(w, http.StatusOK, stateResponse{Jobs: n, Skipped: rep.Skipped})
 }
 
 func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	var jobID int
-	if _, err := fmt.Sscanf(r.URL.Query().Get("job"), "%d", &jobID); err != nil {
-		http.Error(w, "features: need ?job=<id>", http.StatusBadRequest)
+	jobID, err := parseJobID(r)
+	if err != nil {
+		resilience.WriteError(w, http.StatusBadRequest, fmt.Sprintf("features: %v", err))
 		return
 	}
 	s.mu.RLock()
 	snap, err := SnapshotFromTrace(s.state, jobID)
 	s.mu.RUnlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		resilience.WriteError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	row, err := s.bundle.FeatureRow(snap)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		resilience.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	out := make(map[string]float64, len(row))
