@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci clean
+# Trace size for the snapshot benchmarks (legacy scan vs livestate engine).
+BENCH_JOBS ?= 50000
+# Repetitions per benchmark; pipe the output into benchstat to compare runs.
+BENCH_COUNT ?= 5
+
+.PHONY: all build test race vet fmt-check fuzz-smoke bench ci clean
 
 all: build
 
@@ -23,7 +28,19 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race
+# Short fuzz of the event decoder (corpus seeds + 5s of mutation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/livestate
+
+# Legacy O(N) snapshot scan vs the livestate engine's indexed extraction,
+# in benchstat-friendly form:
+#   make bench > new.txt && benchstat old.txt new.txt
+bench:
+	TROUT_BENCH_JOBS=$(BENCH_JOBS) $(GO) test -run '^$$' \
+		-bench 'SnapshotAtInstant$$|LiveStateSnapshot$$' \
+		-benchmem -count $(BENCH_COUNT) .
+
+ci: fmt-check vet build race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

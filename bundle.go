@@ -11,6 +11,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/livestate"
 	"repro/internal/resilience"
 )
 
@@ -222,10 +223,13 @@ func SnapshotFromTrace(tr *Trace, jobID int) (*Snapshot, error) {
 	for i := range tr.Jobs {
 		j := tr.Jobs[i]
 		if j.ID != jobID {
-			switch {
-			case j.Eligible <= t && t < j.Start:
+			// Phase classification honors open intervals: Start == 0 means
+			// still pending, End == 0 still running — live traces must not
+			// drop their genuinely-queued jobs.
+			switch livestate.PhaseAt(&j, t) {
+			case livestate.PhasePending:
 				snap.Pending = append(snap.Pending, j)
-			case j.Start <= t && t < j.End:
+			case livestate.PhaseRunning:
 				snap.Running = append(snap.Running, j)
 			}
 		}

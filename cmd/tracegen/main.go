@@ -1,12 +1,15 @@
 // Command tracegen synthesizes an Anvil-like workload, runs it through the
 // Slurm-style cluster simulator, and writes the completed-job accounting
-// trace (CSV or JSONL). It also prints the paper's Table I statistics for
-// the generated trace.
+// trace (CSV or JSONL), or — with -format events — the equivalent
+// time-ordered JSONL job-event stream (submit/eligible/start/end/cancel)
+// for replaying into troutd's POST /events endpoint. It also prints the
+// paper's Table I statistics for the generated trace.
 //
 // Usage:
 //
 //	tracegen -jobs 60000 -seed 1 -o trace.csv
 //	tracegen -jobs 200000 -format jsonl -o trace.jsonl -scale 2
+//	tracegen -jobs 60000 -format events -o events.jsonl
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	trout "repro"
+	"repro/internal/livestate"
 )
 
 func main() {
@@ -26,7 +30,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		scale  = flag.Int("scale", 1, "cluster scale factor (1 = 36 nodes)")
 		out    = flag.String("o", "trace.csv", "output path")
-		format = flag.String("format", "csv", "output format: csv or jsonl")
+		format = flag.String("format", "csv", "output format: csv, jsonl, or events (JSONL job-event stream)")
 		quiet  = flag.Bool("q", false, "suppress the Table I summary")
 	)
 	flag.Parse()
@@ -43,13 +47,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
+	written := fmt.Sprintf("%d jobs", len(tr.Jobs))
 	switch *format {
 	case "csv":
 		err = tr.WriteCSV(f)
 	case "jsonl":
 		err = tr.WriteJSONL(f)
+	case "events":
+		evs := livestate.EventsFromTrace(tr)
+		written = fmt.Sprintf("%d events (%d jobs)", len(evs), len(tr.Jobs))
+		err = livestate.WriteEvents(f, evs)
 	default:
-		log.Fatalf("unknown format %q (want csv or jsonl)", *format)
+		log.Fatalf("unknown format %q (want csv, jsonl, or events)", *format)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +66,7 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d jobs to %s\n", len(tr.Jobs), *out)
+	fmt.Printf("wrote %s to %s\n", written, *out)
 
 	if !*quiet {
 		e := &trout.Experiment{Pipeline: p, Trace: tr}

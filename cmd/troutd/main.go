@@ -4,7 +4,7 @@
 // through the bundle's fallback chain (NN → GBDT baseline → partition
 // median), so a corrupted model degrades answers instead of availability.
 //
-//	troutd -bundle trout.bundle -state trace.csv -addr :8642
+//	troutd -bundle trout.bundle -state trace.csv -addr :8642 -wal-dir /var/lib/troutd
 //
 //	curl localhost:8642/health
 //	curl localhost:8642/ready
@@ -12,9 +12,18 @@
 //	curl -X POST localhost:8642/predict -d '{"at":1700500000,"job":{"user":7,
 //	     "partition":"shared","req_cpus":16,"req_mem_gb":32,"req_nodes":1,
 //	     "time_limit":14400}}'
+//	curl -X POST localhost:8642/events --data-binary @events.jsonl
+//	curl localhost:8642/metrics
+//
+// Live queue state is event-sourced: POST /events feeds scheduler
+// lifecycle events into the indexed livestate engine, and -wal-dir makes
+// that state durable — every event is WAL-logged before apply, checkpoints
+// run every -checkpoint-interval, and a restart recovers checkpoint + WAL
+// tail, so mid-stream crashes lose nothing that reached disk.
 //
 // SIGINT/SIGTERM mark /ready unavailable and drain in-flight requests for
-// up to -shutdown-grace before exiting.
+// up to -shutdown-grace before exiting; a final checkpoint makes the next
+// boot replay-free.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	trout "repro"
+	"repro/internal/livestate"
 	"repro/internal/trace"
 )
 
@@ -46,6 +56,9 @@ func main() {
 		maxBody        = flag.Int64("max-body", 8<<20, "maximum POST body bytes (413 past it)")
 		maxBadRows     = flag.Int("max-bad-rows", 100, "malformed-record budget for trace ingestion (-1 = unlimited)")
 		shutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window after SIGINT/SIGTERM")
+
+		walDir    = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
+		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
 	)
 	flag.Parse()
 
@@ -57,10 +70,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	store, err := livestate.OpenStore(livestate.StoreOptions{Dir: *walDir, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep := store.Recovered(); *walDir != "" {
+		log.Printf("live state recovered from %s: checkpoint lsn %d, %d events replayed, %d rejected on replay, %d torn bytes dropped",
+			*walDir, rep.CheckpointLSN, rep.Replayed, rep.ApplyErrors, rep.TruncatedBytes)
+	}
 	svc, err := trout.NewServiceWith(b, tr, trout.ServiceConfig{
 		RequestTimeout:  *requestTimeout,
 		MaxBodyBytes:    *maxBody,
 		MaxBadStateRows: *maxBadRows,
+		Live:            store,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -78,10 +100,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Periodic checkpoints bound WAL replay time after a crash; each one
+	// compacts the log down to zero.
+	if *walDir != "" && *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := store.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (cutoff %.0f min, %d queue jobs)",
-		*addr, b.Model.Cfg.CutoffMinutes, queueLen(tr))
+	log.Printf("serving on %s (cutoff %.0f min, %d queue jobs, %d live-tracked)",
+		*addr, b.Model.Cfg.CutoffMinutes, queueLen(tr), store.Engine().Stats().Tracked)
 
 	select {
 	case err := <-errc:
@@ -98,6 +139,13 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		// A final checkpoint makes the next boot replay-free.
+		if err := store.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("wal close: %v", err)
 		}
 		log.Printf("drained; exiting")
 	}

@@ -1,0 +1,436 @@
+package livestate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// WAL/checkpoint file names inside the store directory.
+const (
+	walFile        = "events.wal"
+	checkpointFile = "checkpoint.gob"
+)
+
+// walRecord is one WAL entry: the event plus its log sequence number.
+// Records are written length-prefixed (uvarint) with a CRC32 trailer so a
+// torn tail from a crash is detected and truncated, and LSNs let replay
+// skip records already folded into a checkpoint.
+type walRecord struct {
+	LSN   uint64 `json:"lsn"`
+	Event Event  `json:"event"`
+}
+
+// checkpointDTO is the gob checkpoint: full engine state as of LSN.
+type checkpointDTO struct {
+	LSN   uint64
+	State dto
+}
+
+// StoreOptions configures a Store.
+type StoreOptions struct {
+	// Dir is the WAL/checkpoint directory. Empty means memory-only: the
+	// engine works but nothing persists and Checkpoint is a no-op.
+	Dir string
+	// SyncEvery fsyncs the WAL every N appends (checkpoint and Close always
+	// sync). 0 means 64; negative syncs every append.
+	SyncEvery int
+	// Logf, when set, receives recovery diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// RecoverReport describes what OpenStore reconstructed.
+type RecoverReport struct {
+	// CheckpointLSN is the LSN the checkpoint covered (0 = no checkpoint).
+	CheckpointLSN uint64
+	// Replayed is the number of WAL records applied on top.
+	Replayed uint64
+	// SkippedLSN counts WAL records the checkpoint already covered.
+	SkippedLSN uint64
+	// ApplyErrors counts replayed events the engine rejected.
+	ApplyErrors uint64
+	// TruncatedBytes is the torn tail dropped from the WAL (0 = clean).
+	TruncatedBytes int64
+}
+
+// StoreMetrics is the persistence half of the /metrics livestate gauges.
+type StoreMetrics struct {
+	// LSN is the last assigned log sequence number.
+	LSN uint64
+	// CheckpointLSN is the LSN covered by the newest checkpoint; the
+	// difference to LSN is the WAL lag (records lost if the WAL vanished).
+	CheckpointLSN uint64
+	// WALBytes is the current WAL file size.
+	WALBytes int64
+	// Checkpoints counts checkpoints taken since open.
+	Checkpoints uint64
+	// Persistent is false for memory-only stores.
+	Persistent bool
+}
+
+// Store couples an Engine with a write-ahead log and periodic gob
+// checkpoints: every applied event is logged first, and recovery is
+// checkpoint + WAL tail. Safe for concurrent use.
+type Store struct {
+	opt StoreOptions
+	eng *Engine
+
+	mu          sync.Mutex
+	wal         *os.File
+	walW        *bufio.Writer
+	lsn         uint64
+	ckptLSN     uint64
+	walBytes    int64
+	unsynced    int
+	checkpoints uint64
+	recovered   RecoverReport
+	closed      bool
+}
+
+// OpenStore opens (or creates) a store, recovering engine state from the
+// newest checkpoint plus the WAL tail when Dir holds any.
+func OpenStore(opt StoreOptions) (*Store, error) {
+	if opt.SyncEvery == 0 {
+		opt.SyncEvery = 64
+	}
+	s := &Store{opt: opt, eng: NewEngine()}
+	if opt.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("livestate: store dir: %w", err)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("livestate: open wal: %w", err)
+	}
+	// Drop any torn tail so appends continue from the last good record.
+	size := s.walBytes
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("livestate: truncate wal tail: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.wal = f
+	s.walW = bufio.NewWriter(f)
+	return s, nil
+}
+
+func (s *Store) walPath() string        { return filepath.Join(s.opt.Dir, walFile) }
+func (s *Store) checkpointPath() string { return filepath.Join(s.opt.Dir, checkpointFile) }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// recover loads the checkpoint (if any) and replays the WAL tail.
+func (s *Store) recover() error {
+	if f, err := os.Open(s.checkpointPath()); err == nil {
+		var ck checkpointDTO
+		derr := gob.NewDecoder(f).Decode(&ck)
+		f.Close()
+		if derr != nil {
+			// A half-written checkpoint never replaces the old one (tmp +
+			// rename), so a corrupt file here is unexpected — refuse to
+			// silently start empty.
+			return fmt.Errorf("livestate: corrupt checkpoint %s: %w", s.checkpointPath(), derr)
+		}
+		s.eng.restoreDTO(ck.State)
+		s.lsn = ck.LSN
+		s.ckptLSN = ck.LSN
+		s.recovered.CheckpointLSN = ck.LSN
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	f, err := os.Open(s.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var good int64
+	for {
+		rec, n, rerr := readWALRecord(br)
+		if rerr != nil {
+			if rerr != io.EOF {
+				s.recovered.TruncatedBytes = walSize(f) - good
+				s.logf("livestate: wal %s: dropping torn tail (%d bytes): %v",
+					s.walPath(), s.recovered.TruncatedBytes, rerr)
+			}
+			break
+		}
+		good += n
+		if rec.LSN <= s.ckptLSN {
+			s.recovered.SkippedLSN++
+			continue
+		}
+		if err := s.eng.ApplyEvent(rec.Event); err != nil {
+			s.recovered.ApplyErrors++
+		}
+		s.recovered.Replayed++
+		if rec.LSN > s.lsn {
+			s.lsn = rec.LSN
+		}
+	}
+	s.walBytes = good
+	return nil
+}
+
+func walSize(f *os.File) int64 {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Recovered returns what OpenStore reconstructed.
+func (s *Store) Recovered() RecoverReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Engine returns the live engine (shared, concurrency-safe).
+func (s *Store) Engine() *Engine { return s.eng }
+
+// Apply logs the event then applies it to the engine (write-ahead order).
+// Events the engine rejects are still logged — replay rejects them
+// identically, so recovery stays deterministic — and their error is
+// returned for the caller's accounting. The store mutex is held across
+// both steps so engine order always matches WAL (LSN) order.
+func (s *Store) Apply(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("livestate: store is closed")
+	}
+	s.lsn++
+	if s.walW != nil {
+		n, err := writeWALRecord(s.walW, walRecord{LSN: s.lsn, Event: ev})
+		if err != nil {
+			return fmt.Errorf("livestate: wal append: %w", err)
+		}
+		s.walBytes += n
+		s.unsynced++
+		if s.opt.SyncEvery < 0 || s.unsynced >= s.opt.SyncEvery {
+			if err := s.sync(); err != nil {
+				return fmt.Errorf("livestate: wal sync: %w", err)
+			}
+		}
+	}
+	return s.eng.ApplyEvent(ev)
+}
+
+// Sync flushes buffered WAL records and fsyncs, making every event applied
+// so far durable. Apply group-commits (every SyncEvery appends), so batch
+// ingest paths call this once per batch before acknowledging the batch —
+// a crash can then only lose events that were never acknowledged.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("livestate: store is closed")
+	}
+	return s.sync()
+}
+
+// sync flushes and fsyncs the WAL. Caller holds s.mu.
+func (s *Store) sync() error {
+	if s.walW == nil {
+		return nil
+	}
+	if err := s.walW.Flush(); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.unsynced = 0
+	return nil
+}
+
+// Seed bulk-loads a trace into the engine and immediately checkpoints, so
+// the load survives a restart without being event-logged row by row.
+func (s *Store) Seed(tr *trace.Trace) (SeedReport, error) {
+	rep := s.eng.SeedFromTrace(tr)
+	if err := s.Checkpoint(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Checkpoint writes the engine state to disk (tmp + rename, fsynced) and
+// resets the WAL: records at or below the checkpoint LSN are subsumed. A
+// crash between the rename and the truncate is safe — replay skips
+// subsumed records by LSN. No-op for memory-only stores.
+func (s *Store) Checkpoint() error {
+	if s.opt.Dir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("livestate: store is closed")
+	}
+	if err := s.sync(); err != nil {
+		return err
+	}
+	ck := checkpointDTO{LSN: s.lsn, State: s.eng.snapshotDTO()}
+	tmp := s.checkpointPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("livestate: encode checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.walW.Reset(s.wal)
+	s.walBytes = 0
+	s.unsynced = 0
+	s.ckptLSN = ck.LSN
+	s.checkpoints++
+	return nil
+}
+
+// Metrics snapshots the persistence gauges.
+func (s *Store) Metrics() StoreMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreMetrics{
+		LSN:           s.lsn,
+		CheckpointLSN: s.ckptLSN,
+		WALBytes:      s.walBytes,
+		Checkpoints:   s.checkpoints,
+		Persistent:    s.opt.Dir != "",
+	}
+}
+
+// Close syncs and closes the WAL. The engine stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.walW == nil {
+		return nil
+	}
+	if err := s.sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}
+
+// writeWALRecord appends one length-prefixed record:
+//
+//	uvarint(len(payload)) | payload (JSON walRecord) | crc32(payload) LE
+func writeWALRecord(w *bufio.Writer, rec walRecord) (int64, error) {
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:hn]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return 0, err
+	}
+	return int64(hn + len(payload) + 4), nil
+}
+
+// maxWALRecordBytes bounds a single record so a corrupt length prefix
+// cannot trigger a giant allocation.
+const maxWALRecordBytes = 16 << 20
+
+// readWALRecord reads one record, returning its encoded size. io.EOF means
+// a clean end; any other error means a torn or corrupt tail.
+func readWALRecord(br *bufio.Reader) (walRecord, int64, error) {
+	ln, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return walRecord{}, 0, io.EOF
+		}
+		return walRecord{}, 0, fmt.Errorf("length prefix: %w", err)
+	}
+	if ln == 0 || ln > maxWALRecordBytes {
+		return walRecord{}, 0, fmt.Errorf("implausible record length %d", ln)
+	}
+	payload := make([]byte, ln)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return walRecord{}, 0, fmt.Errorf("payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return walRecord{}, 0, fmt.Errorf("crc: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+		return walRecord{}, 0, fmt.Errorf("crc mismatch")
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return walRecord{}, 0, fmt.Errorf("decode: %w", err)
+	}
+	n := int64(uvarintLen(ln)) + int64(ln) + 4
+	return rec, n, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

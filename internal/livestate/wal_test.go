@@ -1,0 +1,243 @@
+package livestate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// streamEvents drives a realistic little workload through a store.
+func streamEvents(t *testing.T, s *Store, firstID, n int) {
+	t.Helper()
+	for i := firstID; i < firstID+n; i++ {
+		j := mkJob(i, i%3, "shared", int64(1000+10*i), 0, 0, 0)
+		if err := s.Apply(submitEvent(j)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if err := s.Apply(Event{Type: EventEligible, Time: int64(1001 + 10*i), JobID: i}); err != nil {
+			t.Fatalf("eligible %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			if err := s.Apply(Event{Type: EventStart, Time: int64(1005 + 10*i), JobID: i}); err != nil {
+				t.Fatalf("start %d: %v", i, err)
+			}
+		}
+		if i%4 == 0 {
+			if err := s.Apply(Event{Type: EventEnd, Time: int64(1009 + 10*i), JobID: i}); err != nil {
+				t.Fatalf("end %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := OpenStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 1, 10)
+	if st := s.Engine().Stats(); st.Tracked == 0 {
+		t.Fatal("memory store tracks nothing")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("memory checkpoint should be a no-op: %v", err)
+	}
+	m := s.Metrics()
+	if m.Persistent || m.WALBytes != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreRecoverFromWALOnly simulates a crash before any checkpoint: the
+// reopened store must rebuild identical state purely from the WAL.
+func TestStoreRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 1, 25)
+	// No Close: simulate a crash (the WAL is synced every append).
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Recovered()
+	if rep.CheckpointLSN != 0 || rep.Replayed == 0 || rep.ApplyErrors != 0 {
+		t.Fatalf("recover report %+v", rep)
+	}
+	assertEnginesEqual(t, s.Engine(), s2.Engine())
+}
+
+// TestStoreSyncMakesBatchDurable is the group-commit contract: with the
+// default SyncEvery (64), a short batch sits in the bufio buffer and a
+// kill -9 would lose it — but after Sync (what /events calls before
+// acknowledging) a crash-reopen must recover every applied event.
+func TestStoreSyncMakesBatchDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 1, 5) // ~13 records, well under SyncEvery=64
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("WAL still empty on disk after Sync")
+	}
+	// No Close: simulate kill -9 after the batch was acknowledged.
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep := s2.Recovered(); rep.Replayed != s.Metrics().LSN {
+		t.Fatalf("replayed %d of %d acknowledged records", rep.Replayed, s.Metrics().LSN)
+	}
+	assertEnginesEqual(t, s.Engine(), s2.Engine())
+}
+
+// TestStoreRecoverCheckpointPlusTail is the acceptance scenario: restart
+// mid-stream with a checkpoint taken partway recovers identical state from
+// checkpoint + WAL tail.
+func TestStoreRecoverCheckpointPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 1, 30)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 31, 20) // tail beyond the checkpoint
+	m := s.Metrics()
+	if m.CheckpointLSN == 0 || m.LSN <= m.CheckpointLSN {
+		t.Fatalf("metrics %+v", m)
+	}
+
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Recovered()
+	if rep.CheckpointLSN != m.CheckpointLSN {
+		t.Fatalf("recovered from LSN %d, want %d", rep.CheckpointLSN, m.CheckpointLSN)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("no WAL tail replayed")
+	}
+	assertEnginesEqual(t, s.Engine(), s2.Engine())
+
+	// The reopened store keeps accepting events with monotonic LSNs.
+	if err := s2.Apply(Event{Type: EventEligible, Time: 999999, JobID: 49}); err == nil {
+		// job 49 is pending-eligible already; duplicate is fine to reject
+		t.Log("eligible re-applied")
+	}
+	if got := s2.Metrics().LSN; got != m.LSN+1 {
+		t.Fatalf("LSN after reopen %d, want %d", got, m.LSN+1)
+	}
+}
+
+// TestStoreTornTailTruncated appends garbage to the WAL and checks the
+// reopened store drops it and keeps every intact record.
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 1, 12)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x17, 'g', 'a', 'r'}); err != nil { // truncated record
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Recovered()
+	if rep.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not detected: %+v", rep)
+	}
+	assertEnginesEqual(t, s.Engine(), s2.Engine())
+}
+
+// TestStoreSeedCheckpointSurvivesRestart checks that a bulk load persists
+// without per-row WAL records.
+func TestStoreSeedCheckpointSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_000_000)
+	tr := &trace.Trace{Jobs: []trace.Job{
+		mkJob(1, 7, "shared", base, base+10, 0, 0),
+		mkJob(2, 7, "shared", base, base+10, base+20, 0),
+	}}
+	rep, err := s.Seed(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Active != 2 {
+		t.Fatalf("seed %+v", rep)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertEnginesEqual(t, s.Engine(), s2.Engine())
+}
+
+// TestStoreReplayIdempotent reopens the same directory twice without new
+// writes; both recoveries must agree.
+func TestStoreReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 1, 15)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	streamEvents(t, s, 16, 5)
+	s.Close()
+	a, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	assertEnginesEqual(t, a.Engine(), b.Engine())
+}

@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultLatencyBuckets are the histogram upper bounds (seconds) used for
+// request latency, spanning sub-millisecond cache hits to the 10 s request
+// deadline.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// HTTPStats accumulates per-route request counters and a latency histogram
+// for the /metrics endpoint. Safe for concurrent use.
+type HTTPStats struct {
+	mu       sync.Mutex
+	requests map[routeKey]uint64
+	buckets  []float64
+	counts   []uint64 // one per bucket, plus overflow at the end
+	sum      float64
+	n        uint64
+}
+
+type routeKey struct {
+	Path string
+	Code int
+}
+
+// NewHTTPStats returns empty stats with the default latency buckets.
+func NewHTTPStats() *HTTPStats {
+	return &HTTPStats{
+		requests: map[routeKey]uint64{},
+		buckets:  DefaultLatencyBuckets,
+		counts:   make([]uint64, len(DefaultLatencyBuckets)+1),
+	}
+}
+
+// Observe records one completed request.
+func (h *HTTPStats) Observe(path string, code int, seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.requests[routeKey{Path: path, Code: code}]++
+	h.sum += seconds
+	h.n++
+	for i, ub := range h.buckets {
+		if seconds <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.buckets)]++
+}
+
+// HTTPStatsSnapshot is a consistent copy for rendering.
+type HTTPStatsSnapshot struct {
+	// Requests counts completed requests by route and status code.
+	Requests map[string]map[int]uint64
+	// Buckets are the histogram upper bounds; CumCounts[i] is the number
+	// of requests at or under Buckets[i] (Prometheus "le" semantics).
+	Buckets   []float64
+	CumCounts []uint64
+	Sum       float64
+	Count     uint64
+}
+
+// Snapshot copies the counters, cumulating the histogram.
+func (h *HTTPStats) Snapshot() HTTPStatsSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HTTPStatsSnapshot{
+		Requests:  map[string]map[int]uint64{},
+		Buckets:   h.buckets,
+		CumCounts: make([]uint64, len(h.buckets)),
+		Sum:       h.sum,
+		Count:     h.n,
+	}
+	for k, v := range h.requests {
+		m := s.Requests[k.Path]
+		if m == nil {
+			m = map[int]uint64{}
+			s.Requests[k.Path] = m
+		}
+		m[k.Code] += v
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.counts[i]
+		s.CumCounts[i] = cum
+	}
+	return s
+}
+
+// statusWriter captures the response status for the metrics middleware. It
+// exposes Unwrap so http.ResponseController (used by the Timeout
+// middleware) still reaches the underlying writer's extensions.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// ObserveHTTP wraps a handler so every request is recorded in stats.
+// pathFor maps a request to its metric label (clamping unknown paths keeps
+// label cardinality bounded); nil uses the raw URL path.
+func ObserveHTTP(next http.Handler, stats *HTTPStats, pathFor func(*http.Request) string) http.Handler {
+	if stats == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if pathFor != nil {
+			path = pathFor(r)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		stats.Observe(path, code, time.Since(start).Seconds())
+	})
+}

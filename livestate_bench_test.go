@@ -1,0 +1,102 @@
+// Benchmarks contrasting the legacy O(N) whole-trace snapshot scan with
+// the livestate engine's indexed O(log n + k) extraction — the tentpole
+// speedup `make bench` measures on a 50k-job trace (TROUT_BENCH_JOBS
+// overrides the size). Both sides produce equivalent snapshots (see
+// TestLiveStateEquivalence); only extraction is timed, not feature math.
+package trout_test
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	trout "repro"
+	"repro/internal/livestate"
+	"repro/internal/trace"
+)
+
+var (
+	lsOnce   sync.Once
+	lsTrace  *trout.Trace
+	lsEngine *livestate.Engine
+	lsAt     int64
+	lsTarget trace.Job
+	lsErr    error
+)
+
+// livestateBenchSetup generates the benchmark trace once and replays the
+// first half of its event stream into an engine, so both paths snapshot
+// the same mid-stream instant: the engine from its indexes, the legacy
+// path by scanning every job in the trace.
+func livestateBenchSetup(b *testing.B) {
+	b.Helper()
+	lsOnce.Do(func() {
+		n := 50000
+		if s := os.Getenv("TROUT_BENCH_JOBS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		p := trout.DefaultPipeline(n, 11)
+		tr, _, err := p.GenerateTrace()
+		if err != nil {
+			lsErr = err
+			return
+		}
+		sort.Slice(tr.Jobs, func(i, k int) bool { return tr.Jobs[i].ID < tr.Jobs[k].ID })
+		lsTrace = tr
+
+		evs := livestate.EventsFromTrace(tr)
+		cut := evs[len(evs)/2].Time
+		eng := livestate.NewEngine()
+		for i := range evs {
+			if evs[i].Time > cut {
+				break
+			}
+			if err := eng.ApplyEvent(evs[i]); err != nil {
+				lsErr = err
+				return
+			}
+		}
+		lsEngine = eng
+		lsAt = eng.Now()
+		lsTarget = trace.Job{
+			ID: 9_000_000, User: 3, Partition: "shared",
+			Submit: lsAt, Eligible: lsAt,
+			ReqCPUs: 8, ReqMemGB: 16, ReqNodes: 1, TimeLimit: 7200, Priority: 3000,
+		}
+	})
+	if lsErr != nil {
+		b.Fatal(lsErr)
+	}
+}
+
+// BenchmarkSnapshotAtInstant is the legacy path: reclassify all N trace
+// jobs on every snapshot.
+func BenchmarkSnapshotAtInstant(b *testing.B) {
+	livestateBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := trout.SnapshotAtInstant(lsTrace, lsAt, lsTarget)
+		if len(snap.Pending)+len(snap.Running) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkLiveStateSnapshot is the engine path: emit the indexed
+// pending/running sets and the target user's history window.
+func BenchmarkLiveStateSnapshot(b *testing.B) {
+	livestateBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := lsEngine.SnapshotAt(lsTarget, lsAt)
+		if len(snap.Pending)+len(snap.Running) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

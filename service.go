@@ -1,6 +1,7 @@
 package trout
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/livestate"
 	"repro/internal/resilience"
 	"repro/internal/trace"
 )
@@ -27,6 +29,10 @@ type ServiceConfig struct {
 	// up to this many undecodable JSONL rows are skipped and reported
 	// rather than failing the upload. 0 means 100; negative is unlimited.
 	MaxBadStateRows int
+	// Live is the event-sourced cluster-state store backing /events and
+	// the fast snapshot path. Nil gets a fresh memory-only store, so the
+	// engine always runs; pass a WAL-backed store for durability.
+	Live *livestate.Store
 	// Logf, when set, receives middleware diagnostics (recovered panics).
 	Logf func(format string, args ...any)
 }
@@ -50,18 +56,29 @@ func (c *ServiceConfig) defaults() {
 //	GET  /ready           — readiness (503 while draining or not yet serving)
 //	GET  /predict?job=ID  — Algorithm 1 for a known job in the queue state
 //	POST /predict         — Algorithm 1 for a hypothetical job (JSON spec)
-//	POST /state           — replace the queue state (JSONL-decoded trace)
+//	POST /state           — bulk-load the queue state (JSONL-decoded trace)
+//	POST /events          — apply a JSONL job-event stream to the live engine
 //	GET  /features?job=ID — the engineered 33-feature vector (debugging)
+//	GET  /metrics         — Prometheus text exposition (counters, latency,
+//	                        livestate gauges, WAL lag)
 //
 // Every request runs behind panic-recovery, per-request deadline, and
 // body-limit middleware; predictions go through the bundle's fallback
 // chain, so a poisoned model degrades answers instead of availability.
-// State updates and predictions are safe for concurrent use.
+//
+// Snapshots come from two sources: the event-sourced livestate engine
+// (O(log n + k) indexed extraction, the "live" source) when it can answer,
+// falling back to the legacy whole-trace scan ("scan") for historical
+// instants or jobs the engine does not track. State updates, event
+// ingestion, and predictions are safe for concurrent use.
 type Service struct {
-	bundle *Bundle
-	cfg    ServiceConfig
-	tiers  *resilience.Counters
-	ready  atomic.Bool
+	bundle    *Bundle
+	cfg       ServiceConfig
+	tiers     *resilience.Counters
+	sources   *resilience.Counters
+	httpStats *resilience.HTTPStats
+	live      *livestate.Store
+	ready     atomic.Bool
 
 	mu    sync.RWMutex
 	state *Trace
@@ -74,6 +91,8 @@ func NewService(b *Bundle, initial *Trace) (*Service, error) {
 }
 
 // NewServiceWith is NewService with an explicit resilience configuration.
+// When the live store's engine is empty (fresh store, or a WAL directory
+// with nothing to recover), the initial trace seeds it.
 func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, error) {
 	if b == nil {
 		return nil, fmt.Errorf("trout: service needs a bundle")
@@ -82,10 +101,34 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		initial = &Trace{}
 	}
 	cfg.defaults()
-	s := &Service{bundle: b, cfg: cfg, tiers: resilience.NewCounters(), state: initial}
+	if cfg.Live == nil {
+		st, err := livestate.OpenStore(livestate.StoreOptions{})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Live = st
+	}
+	s := &Service{
+		bundle:    b,
+		cfg:       cfg,
+		tiers:     resilience.NewCounters(),
+		sources:   resilience.NewCounters(),
+		httpStats: resilience.NewHTTPStats(),
+		live:      cfg.Live,
+		state:     initial,
+	}
+	if len(initial.Jobs) > 0 && s.live.Engine().Stats().Tracked == 0 {
+		if _, err := s.live.Seed(initial); err != nil {
+			return nil, fmt.Errorf("trout: seeding live state: %w", err)
+		}
+	}
 	s.ready.Store(true)
 	return s, nil
 }
+
+// LiveStore exposes the event-sourced state store (for the daemon's
+// checkpoint loop and shutdown hooks).
+func (s *Service) LiveStore() *livestate.Store { return s.live }
 
 // SetReady flips the /ready endpoint; the daemon marks itself unready
 // before draining so load balancers stop routing new traffic.
@@ -94,20 +137,35 @@ func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
 // FallbackCounters exposes a snapshot of the per-tier prediction counters.
 func (s *Service) FallbackCounters() map[string]uint64 { return s.tiers.Snapshot() }
 
+// metricRoutes are the path labels exported on /metrics; anything else is
+// clamped to "other" to bound label cardinality.
+var metricRoutes = map[string]bool{
+	"/health": true, "/ready": true, "/predict": true, "/state": true,
+	"/events": true, "/features": true, "/metrics": true,
+}
+
 // Handler returns the service's HTTP routes wrapped in the resilience
-// middleware stack (outermost first): panic recovery, per-request
-// deadline, body limit.
+// middleware stack (outermost first): request metrics, panic recovery,
+// per-request deadline, body limit.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/ready", s.handleReady)
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/features", s.handleFeatures)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	var h http.Handler = mux
 	h = resilience.MaxBytes(h, s.cfg.MaxBodyBytes)
 	h = resilience.Timeout(h, s.cfg.RequestTimeout, s.cfg.Logf)
 	h = resilience.Recover(h, s.cfg.Logf)
+	h = resilience.ObserveHTTP(h, s.httpStats, func(r *http.Request) string {
+		if metricRoutes[r.URL.Path] {
+			return r.URL.Path
+		}
+		return "other"
+	})
 	return h
 }
 
@@ -120,6 +178,16 @@ type healthResponse struct {
 	Partitions    int               `json:"partitions"`
 	FallbackTiers map[string]uint64 `json:"fallback_tiers"`
 	Degraded      bool              `json:"degraded"`
+	// Live summarizes the event-sourced engine's state.
+	Live liveHealth `json:"live"`
+}
+
+type liveHealth struct {
+	Now     int64             `json:"now"`
+	Pending int               `json:"pending"`
+	Running int               `json:"running"`
+	Tracked int               `json:"tracked"`
+	Sources map[string]uint64 `json:"snapshot_sources"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -130,6 +198,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.state.Jobs)
 	s.mu.RUnlock()
+	st := s.live.Engine().Stats()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		CutoffMinutes: s.bundle.Model.Cfg.CutoffMinutes,
@@ -138,6 +207,10 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Partitions:    len(s.bundle.Cluster.Partitions),
 		FallbackTiers: s.tiers.Snapshot(),
 		Degraded:      s.tiers.Degraded(resilience.TierNN),
+		Live: liveHealth{
+			Now: st.Now, Pending: st.Pending, Running: st.Running,
+			Tracked: st.Tracked, Sources: s.sources.Snapshot(),
+		},
 	})
 }
 
@@ -176,19 +249,57 @@ type predictRequest struct {
 }
 
 // predictResponse is the /predict payload. Tier names the fallback tier
-// that answered ("nn" when the neural network is healthy).
+// that answered ("nn" when the neural network is healthy); Source names
+// where the queue snapshot came from ("live" = indexed engine, "scan" =
+// legacy whole-trace reconstruction).
 type predictResponse struct {
 	Long    bool    `json:"long"`
 	Prob    float64 `json:"prob"`
 	Minutes float64 `json:"minutes,omitempty"`
 	Message string  `json:"message"`
 	Tier    string  `json:"tier"`
+	Source  string  `json:"snapshot_source"`
 	Pending int     `json:"pending_in_snapshot"`
 	Running int     `json:"running_in_snapshot"`
 }
 
+// Snapshot-source names for counters and response tags.
+const (
+	sourceLive = "live"
+	sourceScan = "scan"
+)
+
+// snapshotForJob resolves a known job's queue snapshot: the live engine
+// answers for jobs it tracks as pending (O(log n + k)); anything else —
+// historical, running, or unknown to the event stream — falls back to the
+// legacy trace scan.
+func (s *Service) snapshotForJob(jobID int) (*Snapshot, string, error) {
+	if snap, err := s.live.Engine().SnapshotForJob(jobID); err == nil {
+		return snap, sourceLive, nil
+	}
+	s.mu.RLock()
+	snap, err := SnapshotFromTrace(s.state, jobID)
+	s.mu.RUnlock()
+	return snap, sourceScan, err
+}
+
+// snapshotAt resolves a hypothetical job's snapshot at an instant: the
+// live engine answers when it tracks state and the instant is at (or past)
+// its clock — the deployment case of predicting for a submission happening
+// now — while historical instants scan the legacy trace.
+func (s *Service) snapshotAt(at int64, target trace.Job) (*Snapshot, string) {
+	if eng := s.live.Engine(); eng.Ready(at) {
+		return eng.SnapshotAt(target, at), sourceLive
+	}
+	s.mu.RLock()
+	snap := SnapshotAtInstant(s.state, at, target)
+	s.mu.RUnlock()
+	return snap, sourceScan
+}
+
 func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var snap *Snapshot
+	var source string
 	switch r.Method {
 	case http.MethodGet:
 		jobID, err := parseJobID(r)
@@ -196,14 +307,12 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 			resilience.WriteError(w, http.StatusBadRequest, fmt.Sprintf("predict: %v", err))
 			return
 		}
-		s.mu.RLock()
-		sn, err := SnapshotFromTrace(s.state, jobID)
-		s.mu.RUnlock()
+		sn, src, err := s.snapshotForJob(jobID)
 		if err != nil {
 			resilience.WriteError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		snap = sn
+		snap, source = sn, src
 	case http.MethodPost:
 		var req predictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -220,13 +329,12 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if req.Job.Submit == 0 {
 			req.Job.Submit = req.At
 		}
-		s.mu.RLock()
-		snap = snapshotAtInstant(s.state, req.At, req.Job)
-		s.mu.RUnlock()
+		snap, source = s.snapshotAt(req.At, req.Job)
 	default:
 		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
+	s.sources.Inc(source)
 
 	pred, err := s.bundle.PredictWithFallback(snap)
 	if err != nil {
@@ -239,15 +347,20 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Long: pred.Long, Prob: pred.Prob, Minutes: pred.Minutes,
 		Message: pred.Message(s.bundle.Model.Cfg.CutoffMinutes),
 		Tier:    pred.Tier,
+		Source:  source,
 		Pending: len(snap.Pending), Running: len(snap.Running),
 	})
 }
 
 // stateResponse is the POST /state payload, reporting how the tolerant
-// ingestion went.
+// ingestion went and what the bulk load seeded into the live engine.
 type stateResponse struct {
 	Jobs    int `json:"jobs"`
 	Skipped int `json:"skipped_rows,omitempty"`
+	// LiveActive/LiveHistory report the livestate seed: active
+	// (pending/running/submitted) jobs and retained history records.
+	LiveActive  int `json:"live_active"`
+	LiveHistory int `json:"live_history"`
 }
 
 func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
@@ -264,7 +377,74 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 	s.state = tr
 	n := len(tr.Jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, stateResponse{Jobs: n, Skipped: rep.Skipped})
+	seed, err := s.live.Seed(tr)
+	if err != nil {
+		// The legacy trace swap already succeeded; a failed checkpoint is
+		// degraded durability, not a failed upload.
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("state: live seed checkpoint: %v", err)
+		}
+	}
+	writeJSON(w, http.StatusOK, stateResponse{
+		Jobs: n, Skipped: rep.Skipped,
+		LiveActive: seed.Active, LiveHistory: seed.History,
+	})
+}
+
+// eventsResponse is the POST /events payload: how the JSONL event stream
+// was absorbed. Applied events mutated the engine; rejected ones were
+// well-formed but refused (duplicate, unknown job, stale order); bad lines
+// failed to decode within the malformed-row budget.
+type eventsResponse struct {
+	Applied  int   `json:"applied"`
+	Rejected int   `json:"rejected,omitempty"`
+	BadLines int   `json:"bad_lines,omitempty"`
+	Now      int64 `json:"now"`
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 4<<20)
+	var resp eventsResponse
+	budget := s.cfg.MaxBadStateRows
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := livestate.DecodeEvent(line)
+		if err != nil {
+			resp.BadLines++
+			if budget >= 0 && resp.BadLines > budget {
+				resilience.WriteError(w, http.StatusBadRequest,
+					fmt.Sprintf("events: more than %d undecodable lines (last: %v)", budget, err))
+				return
+			}
+			continue
+		}
+		if err := s.live.Apply(ev); err != nil {
+			resp.Rejected++
+			continue
+		}
+		resp.Applied++
+	}
+	if err := sc.Err(); err != nil {
+		resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("events: %v", err))
+		return
+	}
+	// Group-commit: the WAL fsyncs every SyncEvery appends, so force one
+	// sync per batch before acknowledging — a 200 means every applied event
+	// is durable, and a crash can only lose unacknowledged in-flight lines.
+	if err := s.live.Sync(); err != nil {
+		resilience.WriteError(w, http.StatusInternalServerError, fmt.Sprintf("events: wal sync: %v", err))
+		return
+	}
+	resp.Now = s.live.Engine().Now()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
@@ -277,13 +457,12 @@ func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
 		resilience.WriteError(w, http.StatusBadRequest, fmt.Sprintf("features: %v", err))
 		return
 	}
-	s.mu.RLock()
-	snap, err := SnapshotFromTrace(s.state, jobID)
-	s.mu.RUnlock()
+	snap, source, err := s.snapshotForJob(jobID)
 	if err != nil {
 		resilience.WriteError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	s.sources.Inc(source)
 	row, err := s.bundle.FeatureRow(snap)
 	if err != nil {
 		resilience.WriteError(w, http.StatusBadRequest, err.Error())
@@ -296,16 +475,20 @@ func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// snapshotAtInstant reconstructs queue state at an arbitrary time with the
-// hypothetical job injected as target.
-func snapshotAtInstant(tr *Trace, at int64, target trace.Job) *Snapshot {
+// SnapshotAtInstant reconstructs queue state at an arbitrary time by
+// scanning the whole trace, with the hypothetical job injected as target —
+// the legacy O(N) path the livestate engine replaces for live instants,
+// kept as the fallback tier for historical reconstruction. Open intervals
+// are honored: a job with Start == 0 is still pending and End == 0 still
+// running, so live traces keep their genuinely-queued jobs.
+func SnapshotAtInstant(tr *Trace, at int64, target trace.Job) *Snapshot {
 	snap := &Snapshot{Now: at, Target: target}
 	for i := range tr.Jobs {
 		j := tr.Jobs[i]
-		switch {
-		case j.Eligible <= at && at < j.Start:
+		switch livestate.PhaseAt(&j, at) {
+		case livestate.PhasePending:
 			snap.Pending = append(snap.Pending, j)
-		case j.Start <= at && at < j.End:
+		case livestate.PhaseRunning:
 			snap.Running = append(snap.Running, j)
 		}
 		if j.Submit >= at-86400 && j.Submit < at {
