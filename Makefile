@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke bench ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke bench bench-json bench-smoke ci clean
 
 all: build
 
@@ -15,8 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
+# Root-package service tests train models; under the race detector on a
+# single-CPU box that brushes the default 10m per-package limit.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -40,7 +42,25 @@ bench:
 		-bench 'SnapshotAtInstant$$|LiveStateSnapshot$$' \
 		-benchmem -count $(BENCH_COUNT) .
 
-ci: fmt-check vet build race fuzz-smoke
+# Hot-path benchmark suites, archived as JSON so runs diff cleanly:
+#   BENCH_inference.json — single vs sequential-64 vs batched-64 predicts,
+#                          warm-forward allocation profile
+#   BENCH_train.json     — hyperopt search, serial vs worker pool
+bench-json:
+	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictSequential64$$|PredictBatch64$$|ForwardAllocs$$' \
+		-benchmem . > bench_inference.txt
+	$(GO) run ./cmd/benchjson -o BENCH_inference.json bench_inference.txt
+	$(GO) test -run '^$$' -bench 'HyperoptSearch' -benchmem ./internal/hyperopt > bench_train.txt
+	$(GO) run ./cmd/benchjson -o BENCH_train.json bench_train.txt
+	rm -f bench_inference.txt bench_train.txt
+
+# One-iteration pass over the same benchmarks so CI catches bit-rot in the
+# bench harness without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictBatch64$$|ForwardAllocs$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'HyperoptSearch' -benchtime 1x ./internal/hyperopt
+
+ci: fmt-check vet build race fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

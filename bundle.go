@@ -159,23 +159,38 @@ func (b *Bundle) PredictWithFallback(snap *Snapshot) (TieredPrediction, error) {
 	if err != nil {
 		return TieredPrediction{}, err
 	}
-	// A bundle with a corrupt (nil) model still serves the lower tiers;
-	// fall back to the paper's default cutoff for their Long verdicts.
-	cutoff := 10.0
-	if b.Model != nil && b.Model.Cfg.CutoffMinutes > 0 {
-		cutoff = b.Model.Cfg.CutoffMinutes
-	}
-	pred, tier, err := resilience.Run([]resilience.Step[core.Prediction]{
-		{
-			Tier: resilience.TierNN,
-			Predict: func() (core.Prediction, error) {
-				if b.Model == nil {
-					return core.Prediction{}, fmt.Errorf("no model in bundle")
-				}
-				return b.Model.Predict(row), nil
-			},
-			Check: checkPrediction,
+	cutoff := b.cutoffMinutes()
+	steps := append([]resilience.Step[core.Prediction]{{
+		Tier: resilience.TierNN,
+		Predict: func() (core.Prediction, error) {
+			if b.Model == nil {
+				return core.Prediction{}, fmt.Errorf("no model in bundle")
+			}
+			return b.Model.Predict(row), nil
 		},
+		Check: checkPrediction,
+	}}, b.degradedSteps(row, snap.Target.Partition, cutoff)...)
+	pred, tier, err := resilience.Run(steps, nil)
+	if err != nil {
+		return TieredPrediction{}, err
+	}
+	return TieredPrediction{Prediction: pred, Tier: tier}, nil
+}
+
+// cutoffMinutes is the Long-verdict threshold: a bundle with a corrupt
+// (nil) model still serves the lower tiers with the paper's default cutoff.
+func (b *Bundle) cutoffMinutes() float64 {
+	if b.Model != nil && b.Model.Cfg.CutoffMinutes > 0 {
+		return b.Model.Cfg.CutoffMinutes
+	}
+	return 10.0
+}
+
+// degradedSteps are the tier-2 (bundled GBDT) and tier-3 (partition median)
+// fallback steps for one feature row — everything in the chain below the
+// neural network, shared between the single and batched prediction paths.
+func (b *Bundle) degradedSteps(row []float64, partition string, cutoff float64) []resilience.Step[core.Prediction] {
+	return []resilience.Step[core.Prediction]{
 		{
 			Tier: resilience.TierBaseline,
 			Predict: func() (core.Prediction, error) {
@@ -189,7 +204,7 @@ func (b *Bundle) PredictWithFallback(snap *Snapshot) (TieredPrediction, error) {
 		{
 			Tier: resilience.TierHeuristic,
 			Predict: func() (core.Prediction, error) {
-				med, ok := b.Fallback.PartitionMedianMinutes[snap.Target.Partition]
+				med, ok := b.Fallback.PartitionMedianMinutes[partition]
 				if !ok {
 					med = b.Fallback.GlobalMedianMinutes
 				}
@@ -197,11 +212,75 @@ func (b *Bundle) PredictWithFallback(snap *Snapshot) (TieredPrediction, error) {
 			},
 			Check: checkPrediction,
 		},
-	}, nil)
-	if err != nil {
-		return TieredPrediction{}, err
 	}
-	return TieredPrediction{Prediction: pred, Tier: tier}, nil
+}
+
+// BatchResult is one job's outcome from PredictBatchWithFallback: either a
+// tiered prediction or a per-job error (bad feature row, or every tier
+// refused) — one job's failure never fails the batch.
+type BatchResult struct {
+	TieredPrediction
+	Err error
+}
+
+// PredictBatchWithFallback runs the tiered chain over many snapshots at
+// once. Healthy path: every feature row goes through the model's mini-batch
+// matmuls in one pass (classifier once, regressor once over the
+// long-classified subset). Rows whose NN answer fails the finite/range
+// check — or every row, when the model is absent or the batch pass
+// panics — drop to the same per-row tier-2/3 chain the single path uses, so
+// each result is identical (values and tier label) to PredictWithFallback
+// on that snapshot.
+func (b *Bundle) PredictBatchWithFallback(snaps []*Snapshot) []BatchResult {
+	results := make([]BatchResult, len(snaps))
+	cutoff := b.cutoffMinutes()
+
+	// Stage the feature rows; per-row failures are bad requests, not
+	// batch failures.
+	rows := make([][]float64, 0, len(snaps))
+	rowOf := make([]int, 0, len(snaps)) // rows index -> snaps index
+	for i, snap := range snaps {
+		row, err := features.SnapshotRow(snap, &b.Cluster, b.Runtime)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		rows = append(rows, row)
+		rowOf = append(rowOf, i)
+	}
+	if len(rows) == 0 {
+		return results
+	}
+
+	preds, ok := b.tryPredictBatch(rows)
+	for k, i := range rowOf {
+		if ok && checkPrediction(preds[k]) == nil {
+			results[i] = BatchResult{TieredPrediction: TieredPrediction{Prediction: preds[k], Tier: resilience.TierNN}}
+			continue
+		}
+		pred, tier, err := resilience.Run(b.degradedSteps(rows[k], snaps[i].Target.Partition, cutoff), nil)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		results[i] = BatchResult{TieredPrediction: TieredPrediction{Prediction: pred, Tier: tier}}
+	}
+	return results
+}
+
+// tryPredictBatch is the NN tier of the batch path: it reports ok=false
+// when the model is missing or the mini-batch forward pass panics (the
+// batch equivalent of the single path's per-tier panic recovery).
+func (b *Bundle) tryPredictBatch(rows [][]float64) (preds []core.Prediction, ok bool) {
+	if b.Model == nil {
+		return nil, false
+	}
+	defer func() {
+		if recover() != nil {
+			preds, ok = nil, false
+		}
+	}()
+	return b.Model.PredictBatch(rows), true
 }
 
 // SnapshotFromTrace reconstructs the queue state a trace job observed at

@@ -1,0 +1,163 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark results can be committed (BENCH_*.json) and
+// diffed across runs without scraping free-form text.
+//
+//	go test -run '^$' -bench Predict -benchmem . > bench.txt
+//	benchjson -o BENCH_inference.json bench.txt
+//
+// Reads the named files (or stdin when none are given), keeps every
+// benchmark result line plus the goos/goarch/pkg/cpu context, and writes:
+//
+//	{
+//	  "context": {"goos": "linux", "cpu": "...", ...},
+//	  "benchmarks": [
+//	    {"name": "PredictBatch64", "procs": 8, "iterations": 100,
+//	     "ns_per_op": 194669, "metrics": {"B/op": 3962, "allocs/op": 3}}
+//	  ]
+//	}
+//
+// Repeated -count runs of one benchmark produce repeated entries; averaging
+// is left to the consumer (benchstat remains the tool for significance).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	Context       map[string]string `json:"context,omitempty"`
+	Benchmarks    []result          `json:"benchmarks"`
+	Failed        bool              `json:"failed,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := document{
+		GeneratedUnix: time.Now().Unix(),
+		Context:       map[string]string{},
+		Benchmarks:    []result{},
+	}
+	if flag.NArg() == 0 {
+		parse(os.Stdin, &doc)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parse(f, &doc)
+		f.Close()
+	}
+
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+	if doc.Failed {
+		log.Fatal("input contains a FAIL line")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parse(r io.Reader, doc *document) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		case strings.HasPrefix(line, "FAIL"), strings.HasPrefix(line, "--- FAIL"):
+			doc.Failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBench decodes one result line:
+//
+//	BenchmarkName/sub=1-8   100   194669 ns/op   3962 B/op   3 allocs/op
+//
+// The trailing -N on the name is GOMAXPROCS; every remaining "<value>
+// <unit>" pair (including ReportMetric customs) lands in Metrics, with
+// ns/op pulled out as the primary measurement.
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	res := result{
+		Name:    strings.TrimPrefix(fields[0], "Benchmark"),
+		Procs:   1,
+		Metrics: map[string]float64{},
+	}
+	if i := strings.LastIndex(res.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			res.NsPerOp = v
+			continue
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}
+
+// usage string for -h.
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchjson [-o out.json] [bench.txt ...]\nreads `go test -bench` output (stdin when no files) and emits JSON\n")
+		flag.PrintDefaults()
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBench("BenchmarkPredictBatch64-8   \t 100\t 194669 ns/op\t 3962 B/op\t 3 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.Name != "PredictBatch64" || res.Procs != 8 || res.Iterations != 100 {
+		t.Fatalf("header fields: %+v", res)
+	}
+	if res.NsPerOp != 194669 || res.Metrics["B/op"] != 3962 || res.Metrics["allocs/op"] != 3 {
+		t.Fatalf("measurements: %+v", res)
+	}
+}
+
+func TestParseBenchSubNameAndCustomMetric(t *testing.T) {
+	res, ok := parseBench("BenchmarkHyperoptSearch/workers=1-4 5 2000 ns/op 1.25 mape-%")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.Name != "HyperoptSearch/workers=1" || res.Procs != 4 {
+		t.Fatalf("name/procs: %+v", res)
+	}
+	if res.Metrics["mape-%"] != 1.25 {
+		t.Fatalf("custom metric: %+v", res)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkShort 10",
+		"BenchmarkBadIters x ns/op",
+		"BenchmarkBadValue 10 abc ns/op",
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseDocument(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkPredictSingle 	10	10508 ns/op	316 B/op	1 allocs/op
+BenchmarkForwardAllocs 	10	83439 ns/op	0 B/op	0 allocs/op
+PASS
+ok  	repro	0.341s
+`
+	var doc document
+	doc.Context = map[string]string{}
+	parse(strings.NewReader(input), &doc)
+	if len(doc.Benchmarks) != 2 || doc.Failed {
+		t.Fatalf("doc: %+v", doc)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] != "Intel(R) Xeon(R)" {
+		t.Fatalf("context: %+v", doc.Context)
+	}
+	if doc.Benchmarks[0].Procs != 1 {
+		t.Fatalf("no -N suffix should mean procs=1: %+v", doc.Benchmarks[0])
+	}
+}

@@ -12,6 +12,9 @@
 //	curl -X POST localhost:8642/predict -d '{"at":1700500000,"job":{"user":7,
 //	     "partition":"shared","req_cpus":16,"req_mem_gb":32,"req_nodes":1,
 //	     "time_limit":14400}}'
+//	curl -X POST localhost:8642/predict/batch -d '{"at":1700500000,"jobs":[
+//	     {"user":7,"partition":"shared","req_cpus":16},
+//	     {"user":9,"partition":"gpu","req_gpus":2}]}'
 //	curl -X POST localhost:8642/events --data-binary @events.jsonl
 //	curl localhost:8642/metrics
 //
@@ -55,6 +58,7 @@ func main() {
 		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
 		maxBody        = flag.Int64("max-body", 8<<20, "maximum POST body bytes (413 past it)")
 		maxBadRows     = flag.Int("max-bad-rows", 100, "malformed-record budget for trace ingestion (-1 = unlimited)")
+		maxBatch       = flag.Int("max-batch", 256, "maximum jobs per /predict/batch request (-1 = unlimited)")
 		shutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window after SIGINT/SIGTERM")
 
 		walDir    = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
@@ -82,6 +86,7 @@ func main() {
 		RequestTimeout:  *requestTimeout,
 		MaxBodyBytes:    *maxBody,
 		MaxBadStateRows: *maxBadRows,
+		MaxBatchJobs:    *maxBatch,
 		Live:            store,
 		Logf:            log.Printf,
 	})

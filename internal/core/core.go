@@ -16,6 +16,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/features"
 	"repro/internal/nn"
@@ -258,6 +261,100 @@ func (m *Model) Predict(raw []float64) Prediction {
 		}
 	}
 	return p
+}
+
+// batchChunk bounds the rows one worker processes per PredictBatch chunk:
+// small enough to spread a 64-job batch across ≥4 cores, large enough that
+// the mini-batch matmuls amortize their loop overhead.
+const batchChunk = 16
+
+// PredictBatch runs Algorithm 1 on many raw feature rows as true mini-batch
+// matmuls: rows are scaled into a pooled matrix, the classifier runs once
+// per chunk, and the regressor runs once over the long-classified subset —
+// instead of len(rows) row-by-row passes. Chunks are spread across
+// GOMAXPROCS goroutines, each with its own pooled workspace. Results are
+// bit-identical to calling Predict on each row: the kernels, accumulation
+// order and clamping match exactly.
+func (m *Model) PredictBatch(raw [][]float64) []Prediction {
+	preds := make([]Prediction, len(raw))
+	if len(raw) == 0 {
+		return preds
+	}
+	chunks := (len(raw) + batchChunk - 1) / batchChunk
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		m.predictChunk(raw, preds)
+		return preds
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1))
+				if c >= chunks {
+					return
+				}
+				lo := c * batchChunk
+				hi := lo + batchChunk
+				if hi > len(raw) {
+					hi = len(raw)
+				}
+				m.predictChunk(raw[lo:hi], preds[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	return preds
+}
+
+// predictChunk fills preds for one contiguous slice of rows using pooled
+// buffers and workspaces; zero steady-state heap allocations per row.
+func (m *Model) predictChunk(raw [][]float64, preds []Prediction) {
+	n := len(raw)
+	x := tensor.Get(n, m.NumInputs)
+	defer tensor.Put(x)
+	for i, r := range raw {
+		scaling.TransformInto(m.Scaler, x.Row(i), r)
+	}
+
+	cws := m.Classifier.AcquireWorkspace()
+	probs := m.Classifier.PredictInto(cws, x)
+	longIdx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		p := probs.At(i, 0)
+		preds[i] = Prediction{Prob: p, Long: p >= 0.5}
+		if preds[i].Long {
+			longIdx = append(longIdx, i)
+		}
+	}
+	m.Classifier.ReleaseWorkspace(cws)
+
+	if len(longIdx) == 0 {
+		return
+	}
+	rx := tensor.Get(len(longIdx), m.NumInputs)
+	defer tensor.Put(rx)
+	for k, i := range longIdx {
+		copy(rx.Row(k), x.Row(i))
+	}
+	rws := m.Regressor.AcquireWorkspace()
+	mins := m.Regressor.PredictInto(rws, rx)
+	for k, i := range longIdx {
+		v := math.Expm1(mins.At(k, 0))
+		if v < m.Cfg.CutoffMinutes {
+			// The hierarchical contract: the regressor only speaks for
+			// jobs past the cutoff.
+			v = m.Cfg.CutoffMinutes
+		}
+		preds[i].Minutes = v
+	}
+	m.Regressor.ReleaseWorkspace(rws)
 }
 
 // RegressMinutes applies only the regression head (used when the true label

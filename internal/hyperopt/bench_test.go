@@ -1,0 +1,48 @@
+package hyperopt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// trainLikeObjective imitates a small training run: per-trial seeded noise
+// plus budget-proportional compute, so the serial/parallel comparison below
+// reflects search orchestration, not objective quirks.
+func trainLikeObjective(tr *Trial, budget int) float64 {
+	rng := rand.New(rand.NewSource(int64(tr.ID)))
+	s := 0.0
+	for i := 0; i < budget*20000; i++ {
+		s += rng.Float64()
+	}
+	d := tr.Float("x") - 3
+	return d*d + s*1e-12
+}
+
+// BenchmarkHyperoptSearch measures the successive-halving search loop,
+// serial vs worker-pool, on a training-shaped objective. Feeds
+// BENCH_train.json via `make bench-json`.
+func BenchmarkHyperoptSearch(b *testing.B) {
+	space := []Param{
+		Uniform("x", -10, 10),
+		LogUniform("lr", 1e-5, 1e-1),
+		IntRange("layers", 1, 4),
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Search(Config{
+					Trials: 27, Seed: 21, Workers: workers,
+					Halving: true, MinBudget: 1, MaxBudget: 9, Eta: 3,
+				}, space, trainLikeObjective)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Best == nil {
+					b.Fatal("no best trial")
+				}
+			}
+		})
+	}
+}

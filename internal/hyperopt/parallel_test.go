@@ -1,0 +1,112 @@
+package hyperopt
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// noisyObjective derives its own randomness from the trial ID, the way real
+// training objectives seed their model from cfg.Seed + trial ID — any
+// order-dependence in the scheduler would show up as a score mismatch.
+func noisyObjective(tr *Trial, budget int) float64 {
+	rng := rand.New(rand.NewSource(int64(tr.ID) * 7919))
+	d := tr.Float("x") - 3
+	return d*d + rng.Float64()*0.01/float64(budget)
+}
+
+func sameResult(t *testing.T, a, b Result) {
+	t.Helper()
+	if a.Best.ID != b.Best.ID || a.Best.Score != b.Best.Score {
+		t.Fatalf("best differs: serial #%d %v vs parallel #%d %v",
+			a.Best.ID, a.Best.Score, b.Best.ID, b.Best.Score)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		x, y := a.Trials[i], b.Trials[i]
+		if x.ID != y.ID || x.Score != y.Score || x.Pruned != y.Pruned || x.Budget != y.Budget {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, x, y)
+		}
+		for k, v := range x.Floats {
+			if y.Floats[k] != v {
+				t.Fatalf("trial %d param %s: %v vs %v", i, k, v, y.Floats[k])
+			}
+		}
+	}
+}
+
+// TestParallelSearchBitIdenticalToSerial is the contract the service's
+// tuning path relies on: Workers > 1 must return exactly the serial result
+// for a fixed seed — same sampled configurations, same scores, same
+// pruning, same winner.
+func TestParallelSearchBitIdenticalToSerial(t *testing.T) {
+	for _, halving := range []bool{false, true} {
+		serial := Config{Trials: 40, Seed: 17, Halving: halving, MinBudget: 1, MaxBudget: 9, Eta: 3}
+		parallel := serial
+		parallel.Workers = 8
+		a, err := Search(serial, quadSpace(), noisyObjective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Search(parallel, quadSpace(), noisyObjective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, a, b)
+	}
+}
+
+// TestParallelActuallyFansOut: with Workers=4 the evaluation loop must have
+// more than one goroutine in flight at least once (on a multicore box).
+func TestParallelActuallyFansOut(t *testing.T) {
+	var inFlight, peak int64
+	obj := func(tr *Trial, budget int) float64 {
+		n := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		for i := 0; i < 10000; i++ { // give workers a chance to overlap
+			_ = i * i
+		}
+		atomic.AddInt64(&inFlight, -1)
+		return tr.Float("x")
+	}
+	if _, err := Search(Config{Trials: 64, Seed: 5, Workers: 4}, []Param{Uniform("x", 0, 1)}, obj); err != nil {
+		t.Fatal(err)
+	}
+	// On a single-core runner overlap is not guaranteed; only assert that
+	// the pool never exceeded its worker budget.
+	if p := atomic.LoadInt64(&peak); p > 4 {
+		t.Fatalf("peak in-flight evaluations %d exceeds Workers=4", p)
+	}
+}
+
+// TestHalvingParallelRungBudgets: parallel halving still walks the same
+// budget ladder and the winner reaches MaxBudget.
+func TestHalvingParallelRungBudgets(t *testing.T) {
+	res, err := Search(Config{
+		Trials: 27, Seed: 4, Workers: 5, Halving: true, MinBudget: 1, MaxBudget: 9, Eta: 3,
+	}, []Param{Uniform("x", 0, 1)}, func(tr *Trial, budget int) float64 {
+		return tr.Float("x")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Budget != 9 {
+		t.Fatalf("best budget %d, want 9", res.Best.Budget)
+	}
+	pruned := 0
+	for _, tr := range res.Trials {
+		if tr.Pruned {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("parallel halving pruned nothing")
+	}
+}

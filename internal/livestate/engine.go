@@ -418,6 +418,14 @@ func (e *Engine) SnapshotAt(target trace.Job, at int64) *features.Snapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	snap := &features.Snapshot{Now: at, Target: target}
+	snap.Pending, snap.Running = e.pendingRunningLocked(at)
+	snap.History = e.userHistoryLocked(target.User, at)
+	return snap
+}
+
+// pendingRunningLocked reads the cluster-wide pending/running sets at an
+// instant off the sorted partition indexes. Callers hold e.mu.
+func (e *Engine) pendingRunningLocked(at int64) (pending, running []trace.Job) {
 	names := make([]string, 0, len(e.parts))
 	for nm := range e.parts {
 		names = append(names, nm)
@@ -427,16 +435,22 @@ func (e *Engine) SnapshotAt(target trace.Job, at int64) *features.Snapshot {
 		p := e.parts[nm]
 		for _, js := range p.pending {
 			if js.job.Eligible <= at {
-				snap.Pending = append(snap.Pending, js.job)
+				pending = append(pending, js.job)
 			}
 		}
 		for _, js := range p.running {
 			if js.job.Start <= at {
-				snap.Running = append(snap.Running, js.job)
+				running = append(running, js.job)
 			}
 		}
 	}
-	ids := e.users[target.User]
+	return pending, running
+}
+
+// userHistoryLocked reads one user's past-day submissions from the history
+// index, ID-sorted. Callers hold e.mu.
+func (e *Engine) userHistoryLocked(user int, at int64) []trace.Job {
+	ids := e.users[user]
 	hist := make([]int, 0, len(ids))
 	for _, id := range ids {
 		js, ok := e.jobs[id]
@@ -448,10 +462,37 @@ func (e *Engine) SnapshotAt(target trace.Job, at int64) *features.Snapshot {
 		}
 	}
 	sort.Ints(hist)
+	var out []trace.Job
 	for _, id := range hist {
-		snap.History = append(snap.History, e.jobs[id].job)
+		out = append(out, e.jobs[id].job)
 	}
-	return snap
+	return out
+}
+
+// SnapshotBatch extracts one snapshot per target, all at the same instant,
+// under a single lock acquisition: the cluster-wide pending/running sets are
+// computed once and shared (callers treat snapshots as read-only), and the
+// per-user history index is consulted once per distinct user. Each returned
+// snapshot is element-wise identical to SnapshotAt(target, at) — the batch
+// prediction path depends on that equivalence.
+func (e *Engine) SnapshotBatch(targets []trace.Job, at int64) []*features.Snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	pending, running := e.pendingRunningLocked(at)
+	histories := make(map[int][]trace.Job)
+	snaps := make([]*features.Snapshot, len(targets))
+	for i, target := range targets {
+		hist, ok := histories[target.User]
+		if !ok {
+			hist = e.userHistoryLocked(target.User, at)
+			histories[target.User] = hist
+		}
+		snaps[i] = &features.Snapshot{
+			Now: at, Target: target,
+			Pending: pending, Running: running, History: hist,
+		}
+	}
+	return snaps
 }
 
 // SnapshotForJob extracts a snapshot for a tracked pending job at the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -39,6 +40,10 @@ func BatchNormSpec(dim int) LayerSpec { return LayerSpec{Kind: "batchnorm", Dim:
 type Network struct {
 	Specs  []LayerSpec
 	Layers []Layer
+
+	// wsPool recycles inference workspaces so concurrent Predict calls are
+	// race-safe (each Get is exclusive) and allocation-free after warm-up.
+	wsPool sync.Pool
 }
 
 // NewNetwork instantiates the given architecture with weights drawn from rng.
@@ -106,14 +111,29 @@ func (n *Network) Params() []Param {
 	return ps
 }
 
-// Predict runs inference (no dropout, running batch-norm stats).
-func (n *Network) Predict(in *tensor.Matrix) *tensor.Matrix { return n.Forward(in, false) }
+// Predict runs inference (no dropout, running batch-norm stats) through a
+// pooled workspace: intermediate activations reuse warm buffers and only the
+// returned output matrix is freshly allocated (a constant two allocations
+// per call, regardless of batch size).
+func (n *Network) Predict(in *tensor.Matrix) *tensor.Matrix {
+	ws := n.AcquireWorkspace()
+	out := n.PredictInto(ws, in).Clone()
+	n.ReleaseWorkspace(ws)
+	return out
+}
 
 // Predict1 runs inference on a single feature vector and returns the first
-// output unit — the common case for both of TROUT's heads.
+// output unit — the common case for both of TROUT's heads. Steady-state it
+// performs zero heap allocations: the input header and every activation
+// buffer come from the network's workspace pool.
 func (n *Network) Predict1(features []float64) float64 {
-	out := n.Predict(tensor.FromSlice(1, len(features), features))
-	return out.Data[0]
+	ws := n.AcquireWorkspace()
+	ws.in.Rows, ws.in.Cols, ws.in.Data = 1, len(features), features
+	out := n.PredictInto(ws, &ws.in)
+	v := out.Data[0]
+	ws.in.Data = nil // do not retain the caller's slice in the pool
+	n.ReleaseWorkspace(ws)
+	return v
 }
 
 // NumParams returns the total number of scalar parameters.

@@ -1,0 +1,7 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds allocations, so alloc-count guards skip themselves.
+const raceEnabled = true

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// wsTestNet builds a network exercising every inference-path layer kind:
+// dense, activation, dropout (identity at inference), and batch-norm.
+func wsTestNet(t testing.TB) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	n := NewNetwork(rng,
+		DenseSpec(33, 64), BatchNormSpec(64), ActivationSpec(ELU), DropoutSpec(0.2),
+		DenseSpec(64, 16), ActivationSpec(ReLU),
+		DenseSpec(16, 1), ActivationSpec(Sigmoid),
+	)
+	// Make batch-norm running stats non-trivial so the path is exercised.
+	for _, l := range n.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			for j := range bn.RunMean {
+				bn.RunMean[j] = rng.NormFloat64()
+				bn.RunVar[j] = 1 + rng.Float64()
+			}
+		}
+	}
+	return n
+}
+
+// TestPredictIntoMatchesForward: the workspace path must be bit-identical
+// to the allocating Forward(in, false) path for every batch shape.
+func TestPredictIntoMatchesForward(t *testing.T) {
+	n := wsTestNet(t)
+	rng := rand.New(rand.NewSource(12))
+	ws := n.NewWorkspace()
+	for _, rows := range []int{1, 3, 64, 7} { // shrinking batch reuses big buffers
+		in := tensor.New(rows, 33)
+		for i := range in.Data {
+			in.Data[i] = rng.NormFloat64()
+		}
+		want := n.Forward(in, false)
+		got := n.PredictInto(ws, in)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("rows=%d: shape %dx%d want %dx%d", rows, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("rows=%d: PredictInto[%d]=%v differs from Forward=%v", rows, i, got.Data[i], want.Data[i])
+			}
+		}
+		// Predict (pooled workspace + clone) agrees too.
+		if out := n.Predict(in); !out.Equal(want, 0) {
+			t.Fatalf("rows=%d: Predict differs from Forward", rows)
+		}
+	}
+}
+
+// TestPredict1MatchesForward: the zero-alloc scalar path returns the same
+// first unit as the matrix path.
+func TestPredict1MatchesForward(t *testing.T) {
+	n := wsTestNet(t)
+	rng := rand.New(rand.NewSource(13))
+	row := make([]float64, 33)
+	for i := range row {
+		row[i] = rng.Float64() * 5
+	}
+	want := n.Forward(tensor.FromSlice(1, 33, row), false).Data[0]
+	if got := n.Predict1(row); got != want {
+		t.Fatalf("Predict1 = %v, Forward = %v", got, want)
+	}
+}
+
+// TestPredictSteadyStateAllocs is the hot-path guard: on a warm workspace
+// pool, Predict1 must not allocate and Predict must stay at the constant
+// output-clone cost — no per-row heap traffic.
+func TestPredictSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	n := wsTestNet(t)
+	row := make([]float64, 33)
+	for i := range row {
+		row[i] = float64(i)
+	}
+	n.Predict1(row) // warm the pool
+	if allocs := testing.AllocsPerRun(200, func() { n.Predict1(row) }); allocs > 0 {
+		t.Fatalf("Predict1 allocates %.1f per run on a warm pool, want 0", allocs)
+	}
+
+	in := tensor.New(8, 33)
+	n.Predict(in)
+	// Predict clones the output (matrix header + data = 2 allocations);
+	// anything above a small constant means the workspace is not reused.
+	if allocs := testing.AllocsPerRun(200, func() { n.Predict(in) }); allocs > 4 {
+		t.Fatalf("Predict allocates %.1f per run on a warm pool, want <= 4", allocs)
+	}
+
+	ws := n.AcquireWorkspace()
+	defer n.ReleaseWorkspace(ws)
+	n.PredictInto(ws, in)
+	if allocs := testing.AllocsPerRun(200, func() { n.PredictInto(ws, in) }); allocs > 0 {
+		t.Fatalf("PredictInto allocates %.1f per run on a warm workspace, want 0", allocs)
+	}
+}
+
+// TestPredictConcurrent drives pooled inference from many goroutines; run
+// with -race this is the workspace-sharing safety check.
+func TestPredictConcurrent(t *testing.T) {
+	n := wsTestNet(t)
+	rng := rand.New(rand.NewSource(14))
+	rows := make([][]float64, 16)
+	want := make([]float64, len(rows))
+	for i := range rows {
+		rows[i] = make([]float64, 33)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64()
+		}
+		want[i] = n.Predict1(rows[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := iter % len(rows)
+				if got := n.Predict1(rows[i]); got != want[i] {
+					t.Errorf("concurrent Predict1 row %d: %v != %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

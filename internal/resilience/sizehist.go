@@ -1,0 +1,64 @@
+package resilience
+
+import "sync"
+
+// SizeHist is a small fixed-bucket histogram for request-shape metrics
+// (e.g. predict-batch sizes). Safe for concurrent use.
+type SizeHist struct {
+	mu      sync.Mutex
+	buckets []float64
+	counts  []uint64 // one per bucket, plus overflow at the end
+	sum     float64
+	n       uint64
+}
+
+// NewSizeHist returns an empty histogram over the given ascending upper
+// bounds.
+func NewSizeHist(buckets []float64) *SizeHist {
+	return &SizeHist{
+		buckets: buckets,
+		counts:  make([]uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one value.
+func (h *SizeHist) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.n++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.buckets)]++
+}
+
+// SizeHistSnapshot is a consistent copy for rendering, with Prometheus "le"
+// cumulative semantics.
+type SizeHistSnapshot struct {
+	Buckets   []float64
+	CumCounts []uint64
+	Sum       float64
+	Count     uint64
+}
+
+// Snapshot copies the histogram, cumulating bucket counts.
+func (h *SizeHist) Snapshot() SizeHistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := SizeHistSnapshot{
+		Buckets:   h.buckets,
+		CumCounts: make([]uint64, len(h.buckets)),
+		Sum:       h.sum,
+		Count:     h.n,
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.counts[i]
+		s.CumCounts[i] = cum
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package scaling
+
+import "math"
+
+// intoTransformer is the optional allocation-free form of Transform. The
+// hot inference paths (batched prediction) use it via TransformInto so a
+// steady-state forward pass writes scaled features straight into a pooled
+// workspace row instead of allocating a fresh slice per job.
+type intoTransformer interface {
+	transformInto(dst, row []float64)
+}
+
+// TransformInto writes s.Transform(row) into dst (which must be
+// len(row) long), avoiding the allocation when the scaler supports it and
+// falling back to a copy of Transform's output when it does not. Values are
+// bit-identical to Transform in both cases.
+func TransformInto(s Scaler, dst, row []float64) {
+	if it, ok := s.(intoTransformer); ok {
+		it.transformInto(dst, row)
+		return
+	}
+	copy(dst, s.Transform(row))
+}
+
+func (s *noneScaler) transformInto(dst, row []float64) { copy(dst, row) }
+
+func (s *logScaler) transformInto(dst, row []float64) {
+	for i, v := range row {
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = math.Log1p(v)
+	}
+}
+
+func (s *minMaxScaler) transformInto(dst, row []float64) {
+	if s.min == nil {
+		copy(dst, row)
+		return
+	}
+	for j, v := range row {
+		dst[j] = (v - s.min[j]) / s.span[j]
+	}
+}
+
+func (s *standardScaler) transformInto(dst, row []float64) {
+	if s.mean == nil {
+		copy(dst, row)
+		return
+	}
+	for j, v := range row {
+		dst[j] = (v - s.mean[j]) / s.std[j]
+	}
+}
+
+func (s *boxCoxScaler) transformInto(dst, row []float64) {
+	if s.lambda == nil {
+		copy(dst, row)
+		return
+	}
+	for j, v := range row {
+		x := v + s.shift[j]
+		if x <= 0 {
+			x = 1e-9
+		}
+		dst[j] = boxCox(x, s.lambda[j])
+	}
+}

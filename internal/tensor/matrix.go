@@ -134,26 +134,51 @@ const parallelThreshold = 64 * 64 * 64
 // MatMul returns a*b, parallelizing across row blocks when the product is
 // large enough to amortize goroutine startup.
 func MatMul(a, b *Matrix) *Matrix {
+	return MatMulInto(a, b, New(a.Rows, b.Cols))
+}
+
+// MatMulInto computes out = a*b into an existing destination, overwriting
+// its contents, and returns out. It is the allocation-free sibling of MatMul
+// for hot loops that reuse workspaces; the same row-block parallel split
+// applies. out must be a.Rows x b.Cols and must not alias a or b.
+func MatMulInto(a, b, out *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || a.Rows < 2 {
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto destination %dx%d for %dx%d product", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	// The serial fast path stays closure-free so steady-state small products
+	// are zero-alloc (the closure below escapes to the heap).
+	if work := a.Rows * a.Cols * b.Cols; work < parallelThreshold || runtime.GOMAXPROCS(0) < 2 || a.Rows < 2 {
 		matMulRange(a, b, out, 0, a.Rows)
 		return out
 	}
-	if workers > a.Rows {
-		workers = a.Rows
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulRange(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// parallelRows runs fn over [0, rows) split into contiguous row blocks, one
+// per worker, when work is large enough to amortize goroutine startup;
+// otherwise it calls fn once inline.
+func parallelRows(rows, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
 	}
 	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
+	chunk := (rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
+		if hi > rows {
+			hi = rows
 		}
 		if lo >= hi {
 			break
@@ -161,24 +186,27 @@ func MatMul(a, b *Matrix) *Matrix {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulRange(a, b, out, lo, hi)
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // matMulRange computes out[lo:hi] = a[lo:hi] * b using an ikj loop order so
-// the inner loop streams both b and out rows sequentially.
+// the inner loop streams both b and out rows sequentially. Each destination
+// row is zeroed first, so out's prior contents do not matter. There is
+// deliberately no skip for zero multiplicands: IEEE 754 says 0 × NaN = NaN,
+// and skipping would let a poisoned operand slip through a zero in the other
+// (the divergence guard depends on NaNs propagating).
 func matMulRange(a, b, out *Matrix, lo, hi int) {
 	n := b.Cols
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[k*n : k*n+n]
 			for j, bv := range brow {
 				orow[j] += av * bv
@@ -189,11 +217,34 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 
 // MatMulTransB returns a * bᵀ without materializing the transpose.
 func MatMulTransB(a, b *Matrix) *Matrix {
+	return MatMulTransBInto(a, b, New(a.Rows, b.Rows))
+}
+
+// MatMulTransBInto computes out = a * bᵀ into an existing destination,
+// overwriting its contents, and returns out. Like MatMulInto it splits
+// across row blocks when the product is large. out must be a.Rows x b.Rows
+// and must not alias a or b.
+func MatMulTransBInto(a, b, out *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d * (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto destination %dx%d for %dx%d product", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	if work := a.Rows * a.Cols * b.Rows; work < parallelThreshold || runtime.GOMAXPROCS(0) < 2 || a.Rows < 2 {
+		matMulTransBRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		matMulTransBRange(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// matMulTransBRange computes out[lo:hi] = a[lo:hi] * bᵀ with a dot-product
+// inner loop (both operands stream row-major).
+func matMulTransBRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -205,7 +256,6 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // Add returns a+b element-wise.

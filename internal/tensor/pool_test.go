@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulNaNPropagatesThroughZero is the regression test for the
+// zero-skip bug: matMulRange used to skip av == 0 multiplicands, which
+// silently masked a NaN (or Inf) in the other operand — IEEE 754 says
+// 0 × NaN = NaN, so a poisoned activation must survive a zero-weight row.
+func TestMatMulNaNPropagatesThroughZero(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}})
+	b := FromRows([][]float64{{math.NaN(), 2}, {3, 4}})
+	out := MatMul(a, b)
+	// out[0][0] = 0*NaN + 1*3 = NaN, out[0][1] = 0*2 + 1*4 = 4.
+	if !math.IsNaN(out.At(0, 0)) {
+		t.Fatalf("NaN in b masked by zero in a: got %v", out.At(0, 0))
+	}
+	if out.At(0, 1) != 4 {
+		t.Fatalf("out[0][1] = %v, want 4", out.At(0, 1))
+	}
+
+	// Same through the transposed kernel.
+	bt := b.T()
+	outT := MatMulTransB(a, bt)
+	if !math.IsNaN(outT.At(0, 0)) {
+		t.Fatalf("NaN masked in MatMulTransB: got %v", outT.At(0, 0))
+	}
+
+	// And an Inf survives too.
+	b.Set(0, 0, math.Inf(1))
+	if got := MatMul(a, b).At(0, 0); !math.IsNaN(got) {
+		// 0 * +Inf = NaN per IEEE 754.
+		t.Fatalf("0*Inf = %v, want NaN", got)
+	}
+}
+
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMatMulIntoMatchesMatMul checks the destination-reusing variants are
+// bit-identical to the allocating ones, including on dirty destinations.
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][3]int{{1, 33, 64}, {17, 8, 5}, {130, 70, 90}} {
+		a := randMat(rng, shape[0], shape[1])
+		b := randMat(rng, shape[1], shape[2])
+		want := MatMul(a, b)
+		dst := New(shape[0], shape[2])
+		dst.Fill(99) // prior contents must not leak through
+		got := MatMulInto(a, b, dst)
+		if !got.Equal(want, 0) {
+			t.Fatalf("MatMulInto differs from MatMul at %v", shape)
+		}
+
+		bt := b.T()
+		wantT := MatMulTransB(a, bt)
+		dstT := New(shape[0], shape[2])
+		dstT.Fill(-7)
+		gotT := MatMulTransBInto(a, bt, dstT)
+		if !gotT.Equal(wantT, 0) {
+			t.Fatalf("MatMulTransBInto differs from MatMulTransB at %v", shape)
+		}
+		// The two kernels agree with each other (same math, different layout).
+		if !wantT.Equal(want, 1e-12) {
+			t.Fatalf("MatMulTransB differs from MatMul at %v", shape)
+		}
+	}
+}
+
+// TestMatMulTransBParallelMatchesSerial pushes MatMulTransB over the
+// parallel threshold and checks the split agrees with a serial range pass.
+func TestMatMulTransBParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 80, 70)
+	b := randMat(rng, 90, 70) // work = 80*70*90 > parallelThreshold
+	got := MatMulTransB(a, b)
+	want := New(80, 90)
+	matMulTransBRange(a, b, want, 0, a.Rows)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel MatMulTransB differs from serial")
+	}
+}
+
+func TestMatMulIntoShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"into-wrong-dst":   func() { MatMulInto(New(2, 3), New(3, 4), New(2, 5)) },
+		"transb-wrong-dst": func() { MatMulTransBInto(New(2, 3), New(4, 3), New(2, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoolReuseAndGrowth(t *testing.T) {
+	m := Get(4, 8)
+	if m.Rows != 4 || m.Cols != 8 || len(m.Data) != 32 {
+		t.Fatalf("Get shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Fill(3)
+	Put(m)
+	z := GetZeroed(2, 2)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatalf("GetZeroed returned dirty data: %v", z.Data)
+		}
+	}
+	Put(z)
+	// A bigger request than anything pooled must still come back right.
+	big := Get(100, 100)
+	if big.Rows != 100 || len(big.Data) != 10000 {
+		t.Fatal("pool returned undersized matrix")
+	}
+	Put(big)
+	Put(nil) // no-op
+}
+
+// TestMatMulIntoSteadyStateAllocs locks in the point of the Into variants:
+// after warm-up, a matmul into a reused destination does not allocate.
+func TestMatMulIntoSteadyStateAllocs(t *testing.T) {
+	a, b := New(4, 16), New(16, 8)
+	out := New(4, 8)
+	allocs := testing.AllocsPerRun(200, func() { MatMulInto(a, b, out) })
+	if allocs > 0 {
+		t.Fatalf("MatMulInto allocates %.1f per run, want 0", allocs)
+	}
+}

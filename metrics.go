@@ -31,6 +31,17 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Queue snapshots produced, by source (live engine vs trace scan).")
 	writeLabelledCounters(&b, "trout_snapshot_source_total", "source", s.sources.Snapshot())
 
+	// Batch prediction shape: jobs per POST /predict/batch request.
+	bs := s.batch.Snapshot()
+	writeMetricHeader(&b, "trout_predict_batch_size", "histogram",
+		"Jobs per POST /predict/batch request.")
+	for i, ub := range bs.Buckets {
+		fmt.Fprintf(&b, "trout_predict_batch_size_bucket{le=\"%g\"} %d\n", ub, bs.CumCounts[i])
+	}
+	fmt.Fprintf(&b, "trout_predict_batch_size_bucket{le=\"+Inf\"} %d\n", bs.Count)
+	fmt.Fprintf(&b, "trout_predict_batch_size_sum %g\n", bs.Sum)
+	fmt.Fprintf(&b, "trout_predict_batch_size_count %d\n", bs.Count)
+
 	// HTTP request counters and latency histogram.
 	hs := s.httpStats.Snapshot()
 	writeMetricHeader(&b, "trout_http_requests_total", "counter",

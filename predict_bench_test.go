@@ -1,0 +1,110 @@
+// Hot-path inference benchmarks feeding BENCH_inference.json via
+// `make bench-json`: single-row latency, the 64-job sequential baseline,
+// the mini-batched path that replaces it, and the allocation profile of a
+// warm forward pass.
+package trout_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/tscv"
+)
+
+var (
+	pbOnce sync.Once
+	pbM    *core.Model
+	pbRows [][]float64
+	pbErr  error
+)
+
+// predictBenchModel trains one model on the bench trace and stages 64
+// scaled-input-shaped raw feature rows from the holdout.
+func predictBenchModel(b *testing.B) (*core.Model, [][]float64) {
+	b.Helper()
+	e := benchExperiment(b)
+	pbOnce.Do(func() {
+		fold, err := tscv.HoldoutRecent(e.Data.Len(), 0.2)
+		if err != nil {
+			pbErr = err
+			return
+		}
+		m, err := core.Train(e.Data, fold.Train, e.Pipeline.Model)
+		if err != nil {
+			pbErr = err
+			return
+		}
+		rows := make([][]float64, 64)
+		for i := range rows {
+			rows[i] = e.Data.X[fold.Test[i%len(fold.Test)]]
+		}
+		pbM, pbRows = m, rows
+	})
+	if pbErr != nil {
+		b.Fatal(pbErr)
+	}
+	return pbM, pbRows
+}
+
+// BenchmarkPredictSingle is one warm Algorithm 1 pass (classifier +
+// regressor) on a single feature row.
+func BenchmarkPredictSingle(b *testing.B) {
+	m, rows := predictBenchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkPredictSequential64 is the pre-batching baseline: 64 jobs
+// answered one Predict call at a time.
+func BenchmarkPredictSequential64(b *testing.B) {
+	m, rows := predictBenchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			m.Predict(r)
+		}
+	}
+}
+
+// BenchmarkPredictBatch64 answers the same 64 jobs through the mini-batched
+// path (one classifier matmul, one regressor matmul over the long subset).
+// The acceptance comparison is ns/op here vs BenchmarkPredictSequential64.
+func BenchmarkPredictBatch64(b *testing.B) {
+	m, rows := predictBenchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds := m.PredictBatch(rows)
+		if len(preds) != len(rows) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+// BenchmarkForwardAllocs isolates the allocation profile of a warm
+// workspace forward pass: a 64-row classifier forward should run
+// allocation-free after the pools warm up.
+func BenchmarkForwardAllocs(b *testing.B) {
+	m, rows := predictBenchModel(b)
+	x := tensor.New(len(rows), m.NumInputs)
+	for i, r := range rows {
+		sc := m.Scaler.Transform(r)
+		copy(x.Row(i), sc)
+	}
+	ws := m.Classifier.AcquireWorkspace()
+	defer m.Classifier.ReleaseWorkspace(ws)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.Classifier.PredictInto(ws, x)
+		if out.Rows != len(rows) {
+			b.Fatal("short forward")
+		}
+	}
+}

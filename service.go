@@ -29,6 +29,10 @@ type ServiceConfig struct {
 	// up to this many undecodable JSONL rows are skipped and reported
 	// rather than failing the upload. 0 means 100; negative is unlimited.
 	MaxBadStateRows int
+	// MaxBatchJobs caps the jobs accepted in one POST /predict/batch
+	// request (larger batches get a JSON 413). 0 means 256; negative
+	// disables the cap.
+	MaxBatchJobs int
 	// Live is the event-sourced cluster-state store backing /events and
 	// the fast snapshot path. Nil gets a fresh memory-only store, so the
 	// engine always runs; pass a WAL-backed store for durability.
@@ -47,6 +51,9 @@ func (c *ServiceConfig) defaults() {
 	if c.MaxBadStateRows == 0 {
 		c.MaxBadStateRows = 100
 	}
+	if c.MaxBatchJobs == 0 {
+		c.MaxBatchJobs = 256
+	}
 }
 
 // Service is the paper's §V "user dashboard tool": an HTTP front-end over a
@@ -56,6 +63,8 @@ func (c *ServiceConfig) defaults() {
 //	GET  /ready           — readiness (503 while draining or not yet serving)
 //	GET  /predict?job=ID  — Algorithm 1 for a known job in the queue state
 //	POST /predict         — Algorithm 1 for a hypothetical job (JSON spec)
+//	POST /predict/batch   — Algorithm 1 for many hypothetical jobs at one
+//	                        instant (snapshot resolved once, mini-batched NN)
 //	POST /state           — bulk-load the queue state (JSONL-decoded trace)
 //	POST /events          — apply a JSONL job-event stream to the live engine
 //	GET  /features?job=ID — the engineered 33-feature vector (debugging)
@@ -77,6 +86,7 @@ type Service struct {
 	tiers     *resilience.Counters
 	sources   *resilience.Counters
 	httpStats *resilience.HTTPStats
+	batch     *resilience.SizeHist
 	live      *livestate.Store
 	ready     atomic.Bool
 
@@ -114,6 +124,7 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		tiers:     resilience.NewCounters(),
 		sources:   resilience.NewCounters(),
 		httpStats: resilience.NewHTTPStats(),
+		batch:     resilience.NewSizeHist([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		live:      cfg.Live,
 		state:     initial,
 	}
@@ -140,8 +151,8 @@ func (s *Service) FallbackCounters() map[string]uint64 { return s.tiers.Snapshot
 // metricRoutes are the path labels exported on /metrics; anything else is
 // clamped to "other" to bound label cardinality.
 var metricRoutes = map[string]bool{
-	"/health": true, "/ready": true, "/predict": true, "/state": true,
-	"/events": true, "/features": true, "/metrics": true,
+	"/health": true, "/ready": true, "/predict": true, "/predict/batch": true,
+	"/state": true, "/events": true, "/features": true, "/metrics": true,
 }
 
 // Handler returns the service's HTTP routes wrapped in the resilience
@@ -152,6 +163,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/ready", s.handleReady)
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/features", s.handleFeatures)
@@ -238,6 +250,9 @@ func parseJobID(r *http.Request) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad job id %q", raw)
 	}
+	if id < 0 {
+		return 0, fmt.Errorf("bad job id %d: must be non-negative", id)
+	}
 	return id, nil
 }
 
@@ -273,13 +288,18 @@ const (
 // answers for jobs it tracks as pending (O(log n + k)); anything else —
 // historical, running, or unknown to the event stream — falls back to the
 // legacy trace scan.
+//
+// s.mu is held across both the engine query and the scan fallback so a
+// concurrent POST /state (which swaps the trace and reseeds the engine in
+// one critical section) can never serve the engine from one upload and the
+// scan from another. Lock order is always s.mu before the engine's lock.
 func (s *Service) snapshotForJob(jobID int) (*Snapshot, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if snap, err := s.live.Engine().SnapshotForJob(jobID); err == nil {
 		return snap, sourceLive, nil
 	}
-	s.mu.RLock()
 	snap, err := SnapshotFromTrace(s.state, jobID)
-	s.mu.RUnlock()
 	return snap, sourceScan, err
 }
 
@@ -288,13 +308,34 @@ func (s *Service) snapshotForJob(jobID int) (*Snapshot, string, error) {
 // its clock — the deployment case of predicting for a submission happening
 // now — while historical instants scan the legacy trace.
 func (s *Service) snapshotAt(at int64, target trace.Job) (*Snapshot, string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if eng := s.live.Engine(); eng.Ready(at) {
 		return eng.SnapshotAt(target, at), sourceLive
 	}
+	return SnapshotAtInstant(s.state, at, target), sourceScan
+}
+
+// snapshotBatch resolves snapshots for many hypothetical jobs at one
+// instant, amortizing the queue reconstruction: the live engine computes
+// pending/running once and shares them across targets; the legacy scan
+// reconstructs the instant once and stamps each target onto a copy. Either
+// way each element is identical to what snapshotAt would return for that
+// job alone.
+func (s *Service) snapshotBatch(at int64, jobs []trace.Job) ([]*Snapshot, string) {
 	s.mu.RLock()
-	snap := SnapshotAtInstant(s.state, at, target)
-	s.mu.RUnlock()
-	return snap, sourceScan
+	defer s.mu.RUnlock()
+	if eng := s.live.Engine(); eng.Ready(at) {
+		return eng.SnapshotBatch(jobs, at), sourceLive
+	}
+	base := SnapshotAtInstant(s.state, at, trace.Job{})
+	snaps := make([]*Snapshot, len(jobs))
+	for i, j := range jobs {
+		sc := *base
+		sc.Target = j
+		snaps[i] = &sc
+	}
+	return snaps, sourceScan
 }
 
 func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -321,6 +362,16 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.At == 0 {
 			resilience.WriteError(w, http.StatusBadRequest, "predict: need at (unix seconds)")
+			return
+		}
+		if req.At < 0 {
+			resilience.WriteError(w, http.StatusBadRequest,
+				fmt.Sprintf("predict: at must be positive unix seconds, got %d", req.At))
+			return
+		}
+		if req.Job.ID < 0 {
+			resilience.WriteError(w, http.StatusBadRequest,
+				fmt.Sprintf("predict: bad job id %d: must be non-negative", req.Job.ID))
 			return
 		}
 		if req.Job.Eligible == 0 {
@@ -352,6 +403,111 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// predictBatchRequest is the POST /predict/batch body: up to MaxBatchJobs
+// hypothetical jobs, all evaluated at one prediction instant.
+type predictBatchRequest struct {
+	At   int64       `json:"at"`
+	Jobs []trace.Job `json:"jobs"`
+}
+
+// batchItem is one job's answer inside a predictBatchResponse. Error is set
+// (and the prediction fields zero) when that job's feature row was invalid
+// or every fallback tier refused — one bad job never fails the batch.
+type batchItem struct {
+	Long    bool    `json:"long"`
+	Prob    float64 `json:"prob"`
+	Minutes float64 `json:"minutes,omitempty"`
+	Message string  `json:"message,omitempty"`
+	Tier    string  `json:"tier,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// predictBatchResponse is the /predict/batch payload. The snapshot is
+// resolved once for the whole batch, so Source/Pending/Running are
+// batch-level; Results is index-aligned with the request's Jobs.
+type predictBatchResponse struct {
+	At      int64       `json:"at"`
+	Source  string      `json:"snapshot_source"`
+	Pending int         `json:"pending_in_snapshot"`
+	Running int         `json:"running_in_snapshot"`
+	Results []batchItem `json:"results"`
+}
+
+func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	var req predictBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("predict: bad body: %v", err))
+		return
+	}
+	if req.At == 0 {
+		resilience.WriteError(w, http.StatusBadRequest, "predict: need at (unix seconds)")
+		return
+	}
+	if req.At < 0 {
+		resilience.WriteError(w, http.StatusBadRequest,
+			fmt.Sprintf("predict: at must be positive unix seconds, got %d", req.At))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		resilience.WriteError(w, http.StatusBadRequest, "predict: need at least one job")
+		return
+	}
+	if max := s.cfg.MaxBatchJobs; max > 0 && len(req.Jobs) > max {
+		resilience.WriteError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("predict: batch of %d jobs exceeds limit %d", len(req.Jobs), max))
+		return
+	}
+	for i := range req.Jobs {
+		if req.Jobs[i].ID < 0 {
+			resilience.WriteError(w, http.StatusBadRequest,
+				fmt.Sprintf("predict: jobs[%d]: bad job id %d: must be non-negative", i, req.Jobs[i].ID))
+			return
+		}
+		// Same defaulting as the single-job POST path, so a batch of one
+		// answers identically to POST /predict.
+		if req.Jobs[i].Eligible == 0 {
+			req.Jobs[i].Eligible = req.At
+		}
+		if req.Jobs[i].Submit == 0 {
+			req.Jobs[i].Submit = req.At
+		}
+	}
+
+	snaps, source := s.snapshotBatch(req.At, req.Jobs)
+	s.batch.Observe(float64(len(req.Jobs)))
+	for range req.Jobs {
+		s.sources.Inc(source)
+	}
+
+	results := s.bundle.PredictBatchWithFallback(snaps)
+	resp := predictBatchResponse{
+		At: req.At, Source: source,
+		Results: make([]batchItem, len(results)),
+	}
+	if len(snaps) > 0 {
+		resp.Pending = len(snaps[0].Pending)
+		resp.Running = len(snaps[0].Running)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			s.tiers.Inc(resilience.TierError)
+			resp.Results[i] = batchItem{Error: res.Err.Error()}
+			continue
+		}
+		s.tiers.Inc(res.Tier)
+		resp.Results[i] = batchItem{
+			Long: res.Long, Prob: res.Prob, Minutes: res.Minutes,
+			Message: res.Message(s.bundle.Model.Cfg.CutoffMinutes),
+			Tier:    res.Tier,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // stateResponse is the POST /state payload, reporting how the tolerant
 // ingestion went and what the bulk load seeded into the live engine.
 type stateResponse struct {
@@ -373,11 +529,15 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 		resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("state: %v", err))
 		return
 	}
+	// Swap the legacy trace and reseed the live engine in ONE critical
+	// section: readers hold s.mu across their engine-or-scan decision, so
+	// splitting these two writes let a concurrent predict pair the new
+	// trace with the old engine state (or vice versa).
 	s.mu.Lock()
 	s.state = tr
 	n := len(tr.Jobs)
-	s.mu.Unlock()
 	seed, err := s.live.Seed(tr)
+	s.mu.Unlock()
 	if err != nil {
 		// The legacy trace swap already succeeded; a failed checkpoint is
 		// degraded durability, not a failed upload.

@@ -1,0 +1,334 @@
+package trout_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	trout "repro"
+	"repro/internal/resilience"
+	"repro/internal/trace"
+)
+
+// seqPredict is the decoded POST /predict payload used for equivalence
+// checks against the batch endpoint.
+type seqPredict struct {
+	Long    bool    `json:"long"`
+	Prob    float64 `json:"prob"`
+	Minutes float64 `json:"minutes"`
+	Message string  `json:"message"`
+	Tier    string  `json:"tier"`
+	Source  string  `json:"snapshot_source"`
+	Pending int     `json:"pending_in_snapshot"`
+	Running int     `json:"running_in_snapshot"`
+}
+
+type batchReply struct {
+	At      int64  `json:"at"`
+	Source  string `json:"snapshot_source"`
+	Pending int    `json:"pending_in_snapshot"`
+	Running int    `json:"running_in_snapshot"`
+	Results []struct {
+		Long    bool    `json:"long"`
+		Prob    float64 `json:"prob"`
+		Minutes float64 `json:"minutes"`
+		Message string  `json:"message"`
+		Tier    string  `json:"tier"`
+		Error   string  `json:"error"`
+	} `json:"results"`
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// batchFixtureJobs derives hypothetical jobs from trace jobs spread across
+// the fixture, varied enough to hit both classifier verdicts.
+func batchFixtureJobs(e *trout.Experiment, n int) []trace.Job {
+	jobs := make([]trace.Job, n)
+	for i := range jobs {
+		tmpl := e.Trace.Jobs[(i+1)*len(e.Trace.Jobs)/(n+1)]
+		jobs[i] = trace.Job{
+			User: tmpl.User, Partition: tmpl.Partition,
+			ReqCPUs: tmpl.ReqCPUs, ReqMemGB: tmpl.ReqMemGB,
+			ReqNodes: tmpl.ReqNodes, ReqGPUs: tmpl.ReqGPUs,
+			TimeLimit: tmpl.TimeLimit, Priority: tmpl.Priority, QOS: tmpl.QOS,
+		}
+	}
+	return jobs
+}
+
+// checkBatchMatchesSequential asserts POST /predict/batch answers exactly
+// what n sequential POST /predict calls answer for the same jobs at the
+// same instant — values, tier labels, messages, and snapshot source all
+// bit-identical.
+func checkBatchMatchesSequential(t *testing.T, url string, at int64, jobs []trace.Job) {
+	t.Helper()
+	want := make([]seqPredict, len(jobs))
+	for i, j := range jobs {
+		code := postJSON(t, url+"/predict", map[string]any{"at": at, "job": j}, &want[i])
+		if code != http.StatusOK {
+			t.Fatalf("sequential predict %d status %d", i, code)
+		}
+	}
+
+	var got batchReply
+	if code := postJSON(t, url+"/predict/batch", map[string]any{"at": at, "jobs": jobs}, &got); code != http.StatusOK {
+		t.Fatalf("batch predict status %d", code)
+	}
+	if len(got.Results) != len(jobs) {
+		t.Fatalf("batch returned %d results for %d jobs", len(got.Results), len(jobs))
+	}
+	for i, w := range want {
+		g := got.Results[i]
+		if g.Error != "" {
+			t.Fatalf("job %d: batch error %q", i, g.Error)
+		}
+		if g.Long != w.Long || g.Prob != w.Prob || g.Minutes != w.Minutes ||
+			g.Message != w.Message || g.Tier != w.Tier {
+			t.Fatalf("job %d mismatch:\n batch: %+v\n  seq: %+v", i, g, w)
+		}
+		if got.Source != w.Source || got.Pending != w.Pending || got.Running != w.Running {
+			t.Fatalf("job %d snapshot mismatch: batch %s/%d/%d vs seq %s/%d/%d", i,
+				got.Source, got.Pending, got.Running, w.Source, w.Pending, w.Running)
+		}
+	}
+}
+
+// TestServiceBatchMatchesSequential is the equivalence guarantee for the
+// batch endpoint, exercised through both snapshot sources: a historical
+// instant (legacy trace scan) and a live instant (indexed engine).
+func TestServiceBatchMatchesSequential(t *testing.T) {
+	srv, e := testService(t)
+	jobs := batchFixtureJobs(e, 12)
+
+	histAt := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+	t.Run("scan", func(t *testing.T) {
+		checkBatchMatchesSequential(t, srv.URL, histAt, jobs)
+	})
+
+	liveAt := int64(0)
+	for _, j := range e.Trace.Jobs {
+		if j.End > liveAt {
+			liveAt = j.End
+		}
+	}
+	t.Run("live", func(t *testing.T) {
+		checkBatchMatchesSequential(t, srv.URL, liveAt, jobs)
+	})
+}
+
+// TestServiceBatchFallbackMatchesSequential repeats the equivalence check
+// with a poisoned classifier: every row drops out of the NN mini-batch to
+// the baseline tier, and the per-row fallback must still answer exactly
+// like the single-job path.
+func TestServiceBatchFallbackMatchesSequential(t *testing.T) {
+	e := sharedExperiment(t)
+	srv, svc := resilientServer(t, poisonedClassifier(t, resilientBundle(t)), trout.ServiceConfig{})
+	jobs := batchFixtureJobs(e, 6)
+	at := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+	checkBatchMatchesSequential(t, srv.URL, at, jobs)
+
+	var got batchReply
+	if code := postJSON(t, srv.URL+"/predict/batch", map[string]any{"at": at, "jobs": jobs}, &got); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	for i, g := range got.Results {
+		if g.Tier != resilience.TierBaseline {
+			t.Fatalf("poisoned batch job %d answered by %q", i, g.Tier)
+		}
+	}
+	if c := svc.FallbackCounters(); c[resilience.TierBaseline] == 0 {
+		t.Fatalf("tier counters after batch: %v", c)
+	}
+}
+
+// TestServiceBatchValidation pins the endpoint's input checks.
+func TestServiceBatchValidation(t *testing.T) {
+	srv, e := testService(t)
+	job := batchFixtureJobs(e, 1)[0]
+	at := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"missing at", map[string]any{"jobs": []trace.Job{job}}, http.StatusBadRequest},
+		{"negative at", map[string]any{"at": -5, "jobs": []trace.Job{job}}, http.StatusBadRequest},
+		{"no jobs", map[string]any{"at": at}, http.StatusBadRequest},
+		{"negative job id", map[string]any{"at": at, "jobs": []map[string]any{{"id": -7, "partition": job.Partition}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code := postJSON(t, srv.URL+"/predict/batch", c.body, nil); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/predict/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /predict/batch gave %d", resp.StatusCode)
+	}
+}
+
+// TestServiceBatchSizeLimit caps batches at MaxBatchJobs with a 413.
+func TestServiceBatchSizeLimit(t *testing.T) {
+	e := sharedExperiment(t)
+	srv, _ := resilientServer(t, resilientBundle(t), trout.ServiceConfig{MaxBatchJobs: 4})
+	jobs := batchFixtureJobs(e, 5)
+	at := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+	if code := postJSON(t, srv.URL+"/predict/batch", map[string]any{"at": at, "jobs": jobs}, nil); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize batch status %d, want 413", code)
+	}
+	var got batchReply
+	if code := postJSON(t, srv.URL+"/predict/batch", map[string]any{"at": at, "jobs": jobs[:4]}, &got); code != http.StatusOK {
+		t.Fatalf("at-limit batch status %d", code)
+	}
+}
+
+// TestServicePredictNegativeInputs pins the single-job endpoints' rejection
+// of negative instants and job IDs with structured 400s.
+func TestServicePredictNegativeInputs(t *testing.T) {
+	srv, e := testService(t)
+	job := batchFixtureJobs(e, 1)[0]
+
+	if code := postJSON(t, srv.URL+"/predict", map[string]any{"at": -100, "job": job}, nil); code != http.StatusBadRequest {
+		t.Errorf("POST at<0 gave %d, want 400", code)
+	}
+	if code := postJSON(t, srv.URL+"/predict",
+		map[string]any{"at": 1700000000, "job": map[string]any{"id": -3, "partition": job.Partition}}, nil); code != http.StatusBadRequest {
+		t.Errorf("POST negative job id gave %d, want 400", code)
+	}
+	for _, path := range []string{"/predict?job=-5", "/features?job=-1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb resilience.ErrorBody
+		err = json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s gave %d, want 400", path, resp.StatusCode)
+		}
+		if err != nil || !strings.Contains(eb.Error, "non-negative") {
+			t.Errorf("%s error body %+v (%v)", path, eb, err)
+		}
+	}
+}
+
+// TestServiceConcurrentStateSwapAndBatch drives POST /state swaps against
+// GET/POST /predict and /predict/batch concurrently; under -race this
+// validates the single-critical-section state swap (trace and live engine
+// reseeded atomically under s.mu).
+func TestServiceConcurrentStateSwapAndBatch(t *testing.T) {
+	srv, e := testService(t)
+	jobs := batchFixtureJobs(e, 4)
+	jobID := e.Trace.Jobs[len(e.Trace.Jobs)/3].ID
+	at := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/predict?job=%d", srv.URL, jobID))
+				if err == nil {
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						t.Errorf("GET predict status %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+				raw, _ := json.Marshal(map[string]any{"at": at, "jobs": jobs})
+				bresp, err := http.Post(srv.URL+"/predict/batch", "application/json", bytes.NewReader(raw))
+				if err == nil {
+					if bresp.StatusCode != http.StatusOK {
+						t.Errorf("batch status %d", bresp.StatusCode)
+					}
+					bresp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			// Alternate between a truncated and the full trace so swaps
+			// genuinely change both the legacy state and the engine seed.
+			n := len(e.Trace.Jobs)
+			if i%2 == 0 {
+				n = 100
+			}
+			sub := &trout.Trace{Jobs: e.Trace.Jobs[:n]}
+			var buf bytes.Buffer
+			if err := sub.WriteJSONL(&buf); err != nil {
+				return
+			}
+			resp, err := http.Post(srv.URL+"/state", "application/jsonl", &buf)
+			if err == nil {
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("state swap status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestServiceBatchMetrics checks the trout_predict_batch_size histogram
+// lands in /metrics with cumulative le buckets.
+func TestServiceBatchMetrics(t *testing.T) {
+	e := sharedExperiment(t)
+	srv, _ := resilientServer(t, resilientBundle(t), trout.ServiceConfig{})
+	jobs := batchFixtureJobs(e, 3)
+	at := e.Trace.Jobs[len(e.Trace.Jobs)/2].Eligible
+	if code := postJSON(t, srv.URL+"/predict/batch", map[string]any{"at": at, "jobs": jobs}, nil); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`trout_predict_batch_size_bucket{le="4"} 1`,
+		`trout_predict_batch_size_bucket{le="+Inf"} 1`,
+		"trout_predict_batch_size_sum 3",
+		"trout_predict_batch_size_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

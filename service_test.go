@@ -14,19 +14,13 @@ import (
 )
 
 // testService spins up the dashboard service over the shared experiment's
-// bundle and trace.
+// trace and the memoized resilientBundle — training once for the whole
+// suite; every test still gets its own Service (state and counters are
+// per-Service, and tests that poison the bundle copy it first).
 func testService(t *testing.T) (*httptest.Server, *trout.Experiment) {
 	t.Helper()
 	e := sharedExperiment(t)
-	m, _, err := trout.TrainHoldout(e.Data, e.Pipeline.Model, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := trout.NewBundle(m, e.Data, e.Cluster)
-	if err != nil {
-		t.Fatal(err)
-	}
-	svc, err := trout.NewService(b, e.Trace)
+	svc, err := trout.NewService(resilientBundle(t), e.Trace)
 	if err != nil {
 		t.Fatal(err)
 	}
