@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke bench bench-json bench-smoke ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke bench bench-json bench-smoke bench-check ci clean
 
 all: build
 
@@ -45,12 +45,15 @@ bench:
 # Hot-path benchmark suites, archived as JSON so runs diff cleanly:
 #   BENCH_inference.json — single vs sequential-64 vs batched-64 predicts,
 #                          warm-forward allocation profile
-#   BENCH_train.json     — hyperopt search, serial vs worker pool
+#   BENCH_train.json     — tree-ensemble fits (histogram vs exact), one NN
+#                          training epoch, hyperopt search loops
 bench-json:
 	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictSequential64$$|PredictBatch64$$|ForwardAllocs$$' \
 		-benchmem . > bench_inference.txt
 	$(GO) run ./cmd/benchjson -o BENCH_inference.json bench_inference.txt
-	$(GO) test -run '^$$' -bench 'HyperoptSearch' -benchmem ./internal/hyperopt > bench_train.txt
+	$(GO) test -run '^$$' -bench 'ForestFit$$|GBDTFit$$' -benchmem ./internal/baselines > bench_train.txt
+	$(GO) test -run '^$$' -bench 'TrainEpoch$$' -benchmem ./internal/nn >> bench_train.txt
+	$(GO) test -run '^$$' -bench 'HyperoptSearch$$|HyperoptGBDTSearch$$' -benchmem ./internal/hyperopt >> bench_train.txt
 	$(GO) run ./cmd/benchjson -o BENCH_train.json bench_train.txt
 	rm -f bench_inference.txt bench_train.txt
 
@@ -60,7 +63,17 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictBatch64$$|ForwardAllocs$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'HyperoptSearch' -benchtime 1x ./internal/hyperopt
 
-ci: fmt-check vet build race fuzz-smoke bench-smoke
+# Regression gate: fresh 1-shot runs of the training-path benchmarks must
+# stay within 2x of the committed BENCH_train.json baseline (benchjson
+# -check skips sub-100µs baselines as too noisy for single shots). Refresh
+# the baseline with `make bench-json` after an intentional change.
+bench-check:
+	$(GO) test -run '^$$' -bench 'ForestFit$$|GBDTFit$$' -benchtime 1x ./internal/baselines > bench_check.txt
+	$(GO) test -run '^$$' -bench 'TrainEpoch$$' -benchtime 1x ./internal/nn >> bench_check.txt
+	$(GO) run ./cmd/benchjson -check BENCH_train.json bench_check.txt
+	rm -f bench_check.txt
+
+ci: fmt-check vet build race fuzz-smoke bench-smoke bench-check
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,20 @@
 //
 // Repeated -count runs of one benchmark produce repeated entries; averaging
 // is left to the consumer (benchstat remains the tool for significance).
+//
+// -check flips the tool into regression-gate mode: instead of emitting
+// JSON, it compares fresh `go test -bench` output against a committed
+// baseline document and exits nonzero when any shared benchmark slowed
+// down by more than -tolerance (default 2x — wide enough for machine
+// noise, tight enough to catch a lost optimization):
+//
+//	go test -run '^$' -bench FooFit -benchtime 1x ./... > fresh.txt
+//	benchjson -check BENCH_train.json fresh.txt
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate (new benchmarks land before their baseline is refreshed), and
+// baselines faster than -min-ns (default 100µs) are skipped as too noisy
+// for a 1-shot comparison.
 package main
 
 import (
@@ -28,6 +42,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +67,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output file (default stdout)")
+	check := flag.String("check", "", "baseline JSON to compare against (regression-gate mode)")
+	tolerance := flag.Float64("tolerance", 2.0, "with -check: maximum allowed fresh/baseline ns ratio")
+	minNs := flag.Float64("min-ns", 100_000, "with -check: skip baselines faster than this (too noisy)")
 	flag.Parse()
 
 	doc := document{
@@ -77,6 +95,25 @@ func main() {
 	if doc.Failed {
 		log.Fatal("input contains a FAIL line")
 	}
+
+	if *check != "" {
+		blob, err := os.ReadFile(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base document
+		if err := json.Unmarshal(blob, &base); err != nil {
+			log.Fatalf("%s: %v", *check, err)
+		}
+		report := compareBenchmarks(base.Benchmarks, doc.Benchmarks, *tolerance, *minNs)
+		for _, line := range report.lines {
+			fmt.Println(line)
+		}
+		if len(report.regressions) > 0 {
+			log.Fatalf("%d benchmark(s) regressed past %.1fx vs %s", len(report.regressions), *tolerance, *check)
+		}
+		return
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +124,65 @@ func main() {
 	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// checkReport is compareBenchmarks' outcome: one printable line per
+// benchmark, plus the names that regressed past the tolerance.
+type checkReport struct {
+	lines       []string
+	regressions []string
+}
+
+// compareBenchmarks gates fresh results against a committed baseline.
+// Repeated entries (from -count runs) collapse to the per-name minimum —
+// the cleanest estimate either side has — and only names present in both
+// documents can fail the gate.
+func compareBenchmarks(base, fresh []result, tolerance, minNs float64) checkReport {
+	bestOf := func(rs []result) map[string]float64 {
+		best := map[string]float64{}
+		for _, r := range rs {
+			if r.NsPerOp <= 0 {
+				continue
+			}
+			if v, ok := best[r.Name]; !ok || r.NsPerOp < v {
+				best[r.Name] = r.NsPerOp
+			}
+		}
+		return best
+	}
+	baseBest, freshBest := bestOf(base), bestOf(fresh)
+
+	names := make([]string, 0, len(freshBest))
+	for name := range freshBest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var rep checkReport
+	for _, name := range names {
+		fr := freshBest[name]
+		bs, ok := baseBest[name]
+		if !ok {
+			rep.lines = append(rep.lines, fmt.Sprintf("  new   %-40s %12.0f ns/op (no baseline)", name, fr))
+			continue
+		}
+		ratio := fr / bs
+		switch {
+		case bs < minNs:
+			rep.lines = append(rep.lines, fmt.Sprintf("  skip  %-40s baseline %.0f ns/op below noise floor", name, bs))
+		case ratio > tolerance:
+			rep.lines = append(rep.lines, fmt.Sprintf("  FAIL  %-40s %12.0f ns/op vs baseline %.0f (%.2fx)", name, fr, bs, ratio))
+			rep.regressions = append(rep.regressions, name)
+		default:
+			rep.lines = append(rep.lines, fmt.Sprintf("  ok    %-40s %12.0f ns/op vs baseline %.0f (%.2fx)", name, fr, bs, ratio))
+		}
+	}
+	for name := range baseBest {
+		if _, ok := freshBest[name]; !ok {
+			rep.lines = append(rep.lines, fmt.Sprintf("  gone  %-40s in baseline but not in fresh run", name))
+		}
+	}
+	return rep
 }
 
 func parse(r io.Reader, doc *document) {

@@ -66,3 +66,38 @@ ok  	repro	0.341s
 		t.Fatalf("no -N suffix should mean procs=1: %+v", doc.Benchmarks[0])
 	}
 }
+
+func TestCompareBenchmarks(t *testing.T) {
+	base := []result{
+		{Name: "Stable", NsPerOp: 1e6},
+		{Name: "Regressed", NsPerOp: 1e6},
+		{Name: "Noisy", NsPerOp: 5e4}, // below the 1e5 noise floor
+		{Name: "Removed", NsPerOp: 1e6},
+		// Repeated -count entries collapse to the minimum.
+		{Name: "Stable", NsPerOp: 2e6},
+	}
+	fresh := []result{
+		{Name: "Stable", NsPerOp: 1.5e6},    // 1.5x: within 2x tolerance
+		{Name: "Regressed", NsPerOp: 2.5e6}, // 2.5x: fails the gate
+		{Name: "Noisy", NsPerOp: 9e5},       // 18x but skipped (noise floor)
+		{Name: "Brand-new", NsPerOp: 1e6},   // no baseline: reported, not failed
+	}
+	rep := compareBenchmarks(base, fresh, 2.0, 1e5)
+	if len(rep.regressions) != 1 || rep.regressions[0] != "Regressed" {
+		t.Fatalf("regressions = %v, want [Regressed]", rep.regressions)
+	}
+	joined := strings.Join(rep.lines, "\n")
+	for _, want := range []string{"ok    Stable", "FAIL  Regressed", "skip  Noisy", "new   Brand-new", "gone  Removed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareBenchmarksAllClean(t *testing.T) {
+	base := []result{{Name: "A", NsPerOp: 1e6}}
+	fresh := []result{{Name: "A", NsPerOp: 0.8e6}} // got faster
+	if rep := compareBenchmarks(base, fresh, 2.0, 1e5); len(rep.regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", rep.regressions)
+	}
+}

@@ -24,6 +24,10 @@
 // run every -checkpoint-interval, and a restart recovers checkpoint + WAL
 // tail, so mid-stream crashes lose nothing that reached disk.
 //
+// -pprof localhost:6060 exposes net/http/pprof (CPU, heap, goroutine
+// profiles) on a separate listener, keeping the debug surface off the
+// service address.
+//
 // SIGINT/SIGTERM mark /ready unavailable and drain in-flight requests for
 // up to -shutdown-grace before exiting; a final checkpoint makes the next
 // boot replay-free.
@@ -35,6 +39,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +68,8 @@ func main() {
 
 		walDir    = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
 		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -105,6 +112,27 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Profiling stays off the service listener: the pprof handlers are
+	// registered only on their own mux bound to -pprof, so the production
+	// address never exposes them and profiling traffic cannot consume
+	// service connections. Shutdown is best-effort alongside the main drain.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
+	}
+
 	// Periodic checkpoints bound WAL replay time after a crash; each one
 	// compacts the log down to zero.
 	if *walDir != "" && *ckptEvery > 0 {
@@ -141,6 +169,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if pprofSrv != nil {
+			if err := pprofSrv.Shutdown(sctx); err != nil {
+				log.Printf("pprof shutdown: %v", err)
+			}
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)

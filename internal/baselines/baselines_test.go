@@ -298,18 +298,6 @@ func TestClassifyProbClamps(t *testing.T) {
 	}
 }
 
-func BenchmarkForestFit(b *testing.B) {
-	rng := rand.New(rand.NewSource(12))
-	X, y := synthData(rng, 2000, 10, linearFn, 0.5)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		fo := NewForest(ForestConfig{Trees: 20, Seed: 1})
-		if err := fo.Fit(X, y); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkKNNPredict(b *testing.B) {
 	rng := rand.New(rand.NewSource(13))
 	X, y := synthData(rng, 5000, 10, linearFn, 0.5)

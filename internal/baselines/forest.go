@@ -8,6 +8,13 @@ import (
 	"sync"
 )
 
+// Compile-time interface checks for the ensemble learners.
+var (
+	_ Regressor = (*Tree)(nil)
+	_ Regressor = (*Forest)(nil)
+	_ Regressor = (*GBDT)(nil)
+)
+
 // ForestConfig controls random-forest construction.
 type ForestConfig struct {
 	Trees int // 0 means 100
@@ -53,7 +60,10 @@ func NewForest(cfg ForestConfig) *Forest { return &Forest{Cfg: cfg} }
 
 // Fit implements Regressor. Trees train concurrently on bootstrap samples;
 // per-tree RNGs are seeded deterministically so results are reproducible
-// regardless of worker interleaving.
+// regardless of worker interleaving. In histogram mode (the default) the
+// feature matrix is quantized once here and shared read-only by every tree,
+// so the per-feature sort cost is paid once per forest instead of once per
+// node; each worker keeps its own histogram scratch.
 func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if len(X) == 0 || len(X) != len(y) {
 		return fmt.Errorf("baselines: forest fit with %d samples, %d targets", len(X), len(y))
@@ -64,10 +74,22 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if sampleN < 1 {
 		sampleN = 1
 	}
+	var bm *binned
+	if !f.Cfg.Tree.Exact {
+		bm = newBinned(X, f.Cfg.Tree.Bins)
+	}
 	f.trees = make([]*Tree, f.Cfg.Trees)
 	sem := make(chan struct{}, f.Cfg.Workers)
 	var wg sync.WaitGroup
 	errs := make([]error, f.Cfg.Trees)
+	// One histogram scratch per worker slot, reused across the trees that
+	// slot trains (the free-listed node histograms are the big buffers).
+	scratch := make(chan *histScratch, f.Cfg.Workers)
+	for w := 0; w < f.Cfg.Workers; w++ {
+		if bm != nil {
+			scratch <- newHistScratch(bm, y, 1)
+		}
+	}
 	for ti := 0; ti < f.Cfg.Trees; ti++ {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -81,8 +103,15 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 			}
 			tcfg := f.Cfg.Tree
 			tcfg.Seed = f.Cfg.Seed + int64(ti)
+			tcfg.Workers = 1 // trees already run in parallel
 			tree := NewTree(tcfg)
-			errs[ti] = tree.FitIndices(X, y, idx, rng)
+			if bm != nil {
+				sc := <-scratch
+				errs[ti] = tree.fitShared(sc, idx, rng)
+				scratch <- sc
+			} else {
+				errs[ti] = tree.FitIndices(X, y, idx, rng)
+			}
 			f.trees[ti] = tree
 		}(ti)
 	}
@@ -145,7 +174,12 @@ type GBDT struct {
 // NewGBDT returns an untrained booster.
 func NewGBDT(cfg GBDTConfig) *GBDT { return &GBDT{Cfg: cfg} }
 
-// Fit implements Regressor.
+// Fit implements Regressor. Boosting rounds are inherently sequential
+// (each tree fits the previous ensemble's residuals), so throughput comes
+// from inside a round: features are quantized once up front and every
+// round's tree trains on the shared bins through one reused scratch, split
+// search fans out across features, and the per-row prediction update after
+// each tree runs row-parallel. Results are independent of worker count.
 func (g *GBDT) Fit(X [][]float64, y []float64) error {
 	if len(X) == 0 || len(X) != len(y) {
 		return fmt.Errorf("baselines: gbdt fit with %d samples, %d targets", len(X), len(y))
@@ -173,6 +207,14 @@ func (g *GBDT) Fit(X [][]float64, y []float64) error {
 	for i := range all {
 		all[i] = i
 	}
+	var sc *histScratch
+	if !g.Cfg.Tree.Exact {
+		workers := g.Cfg.Tree.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sc = newHistScratch(newBinned(X, g.Cfg.Tree.Bins), resid, workers)
+	}
 	for round := 0; round < g.Cfg.Rounds; round++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
@@ -184,16 +226,59 @@ func (g *GBDT) Fit(X [][]float64, y []float64) error {
 		}
 		tcfg := g.Cfg.Tree
 		tcfg.Seed = g.Cfg.Seed + int64(round)
+		if sc != nil {
+			tcfg.Workers = sc.workers
+		}
 		tree := NewTree(tcfg)
-		if err := tree.FitIndices(X, resid, idx, rng); err != nil {
+		if sc != nil {
+			if err := tree.fitShared(sc, idx, rng); err != nil {
+				return err
+			}
+		} else if err := tree.FitIndices(X, resid, idx, rng); err != nil {
 			return err
 		}
 		g.trees = append(g.trees, tree)
-		for i := range pred {
-			pred[i] += g.Cfg.LearnRate * tree.Predict(X[i])
-		}
+		parallelPredictAdd(pred, X, tree, g.Cfg.LearnRate)
 	}
 	return nil
+}
+
+// parallelPredictAdd computes pred[i] += rate*tree.Predict(X[i]) across all
+// rows, fanning out over GOMAXPROCS when the trace is large enough for the
+// goroutine cost to vanish. Rows are independent, so the result is
+// identical at any worker count.
+func parallelPredictAdd(pred []float64, X [][]float64, tree *Tree, rate float64) {
+	workers := runtime.GOMAXPROCS(0)
+	const minRowsPerWorker = 2048
+	if maxW := len(pred) / minRowsPerWorker; workers > maxW {
+		workers = maxW
+	}
+	if workers < 2 {
+		for i := range pred {
+			pred[i] += rate * tree.Predict(X[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pred) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pred) {
+			hi = len(pred)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pred[i] += rate * tree.Predict(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Predict implements Regressor.

@@ -34,10 +34,24 @@ type TreeConfig struct {
 	MaxDepth    int // 0 means 10
 	MinLeaf     int // minimum samples per leaf; 0 means 5
 	MaxFeatures int // features considered per split; 0 means all
-	// MaxThresholds bounds candidate split points per feature (quantile
-	// candidates); 0 means 32.
+	// MaxThresholds bounds candidate split points per feature in exact
+	// mode (quantile candidates); 0 means 32.
 	MaxThresholds int
-	Seed          int64
+	// Exact selects the original exact split search: per node and feature,
+	// sort the node's rows and scan MaxThresholds quantile candidates. The
+	// default (false) is histogram mode: features are quantized once per
+	// Fit into at most Bins uint8 bins and splits are found by scanning
+	// per-bin count/sum histograms with parent−sibling subtraction —
+	// LightGBM-style, several times faster at equal quality. Exact mode
+	// remains for bit-for-bit comparison against the pre-histogram learner.
+	Exact bool
+	// Bins is the histogram resolution per feature; 0 or >256 means 256.
+	Bins int
+	// Workers enables feature-parallel split search inside a single tree;
+	// 0 or 1 is serial. Forests keep this at 1 (they parallelize across
+	// trees); GBDT sets it because boosting rounds are sequential.
+	Workers int
+	Seed    int64
 }
 
 func (c *TreeConfig) defaults() {
@@ -49,6 +63,9 @@ func (c *TreeConfig) defaults() {
 	}
 	if c.MaxThresholds <= 0 {
 		c.MaxThresholds = 32
+	}
+	if c.Bins <= 1 || c.Bins > maxBins {
+		c.Bins = maxBins
 	}
 }
 
@@ -85,7 +102,12 @@ func (t *Tree) Fit(X [][]float64, y []float64) error {
 		idx[i] = i
 	}
 	rng := rand.New(rand.NewSource(t.Cfg.Seed))
-	t.root = t.build(X, y, idx, 0, rng)
+	if t.Cfg.Exact {
+		t.root = t.build(X, y, idx, 0, newExactScratch(len(X), t.dim), rng)
+		return nil
+	}
+	sc := newHistScratch(newBinned(X, t.Cfg.Bins), y, t.Cfg.Workers)
+	t.root = t.fitBinned(sc, idx, rng)
 	return nil
 }
 
@@ -96,7 +118,26 @@ func (t *Tree) FitIndices(X [][]float64, y []float64, idx []int, rng *rand.Rand)
 	}
 	t.dim = len(X[0])
 	own := append([]int(nil), idx...)
-	t.root = t.build(X, y, own, 0, rng)
+	if t.Cfg.Exact {
+		t.root = t.build(X, y, own, 0, newExactScratch(len(idx), t.dim), rng)
+		return nil
+	}
+	sc := newHistScratch(newBinned(X, t.Cfg.Bins), y, t.Cfg.Workers)
+	t.root = t.fitBinned(sc, own, rng)
+	return nil
+}
+
+// fitShared trains on pre-binned features through a caller-owned scratch —
+// the path Forest and GBDT use so quantization happens once per ensemble
+// (per Fit) rather than once per tree. idx is copied; the scratch's target
+// slice must already hold this tree's y.
+func (t *Tree) fitShared(sc *histScratch, idx []int, rng *rand.Rand) error {
+	if len(idx) == 0 {
+		return fmt.Errorf("baselines: tree fit with 0 indices")
+	}
+	t.dim = sc.bm.cols
+	own := append([]int(nil), idx...)
+	t.root = t.fitBinned(sc, own, rng)
 	return nil
 }
 
@@ -108,13 +149,29 @@ func mean(y []float64, idx []int) float64 {
 	return s / float64(len(idx))
 }
 
-// build recursively grows the tree. idx is owned by the call and may be
-// permuted.
-func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+// exactPair is one (feature value, target) element of the exact-mode
+// per-node sort.
+type exactPair struct{ v, y float64 }
+
+// exactScratch holds exact mode's per-node sort buffers, hoisted out of
+// bestSplit so one Fit allocates them once instead of at every node (the
+// allocation churn previously visible in BenchmarkForestFit).
+type exactScratch struct {
+	pairs []exactPair
+	feats []int
+}
+
+func newExactScratch(rows, dim int) *exactScratch {
+	return &exactScratch{pairs: make([]exactPair, rows), feats: make([]int, dim)}
+}
+
+// build recursively grows the tree (exact mode). idx is owned by the call
+// and may be permuted.
+func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int, sc *exactScratch, rng *rand.Rand) *treeNode {
 	if depth >= t.Cfg.MaxDepth || len(idx) < 2*t.Cfg.MinLeaf {
 		return &treeNode{leaf: true, value: mean(y, idx)}
 	}
-	feat, thr, ok := t.bestSplit(X, y, idx, rng)
+	feat, thr, ok := t.bestSplit(X, y, idx, sc, rng)
 	if !ok {
 		return &treeNode{leaf: true, value: mean(y, idx)}
 	}
@@ -132,16 +189,16 @@ func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int, rng *rand
 		return &treeNode{leaf: true, value: mean(y, idx)}
 	}
 	n := &treeNode{feature: feat, threshold: thr}
-	n.left = t.build(X, y, idx[:lo], depth+1, rng)
-	n.right = t.build(X, y, idx[lo:], depth+1, rng)
+	n.left = t.build(X, y, idx[:lo], depth+1, sc, rng)
+	n.right = t.build(X, y, idx[lo:], depth+1, sc, rng)
 	return n
 }
 
 // bestSplit searches candidate thresholds for the split with the greatest
-// variance reduction.
-func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, rng *rand.Rand) (feat int, thr float64, ok bool) {
+// variance reduction (exact mode: per-node, per-feature sort).
+func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, sc *exactScratch, rng *rand.Rand) (feat int, thr float64, ok bool) {
 	dim := t.dim
-	feats := make([]int, dim)
+	feats := sc.feats[:dim]
 	for i := range feats {
 		feats[i] = i
 	}
@@ -161,11 +218,10 @@ func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, rng *rand.Rand) 
 	bestGain := 1e-12
 	ok = false
 
-	type pair struct{ v, y float64 }
-	pairs := make([]pair, len(idx))
+	pairs := sc.pairs[:len(idx)]
 	for _, f := range feats {
 		for k, i := range idx {
-			pairs[k] = pair{X[i][f], y[i]}
+			pairs[k] = exactPair{X[i][f], y[i]}
 		}
 		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
 		if pairs[0].v == pairs[len(pairs)-1].v {

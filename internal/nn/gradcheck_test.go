@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Finite-difference gradient checks: for every parameter θ of a network the
+// analytic gradient from BackwardTrain must match the central difference
+// (L(θ+h) − L(θ−h)) / 2h of the training-path loss. Dropout is excluded
+// (its RNG makes the loss non-deterministic across evaluations) and the
+// activations are kink-free (ELU, sigmoid, tanh); batch-norm running-stat
+// updates during repeated forwards are harmless because the training output
+// uses batch statistics.
+
+// gradCheckLoss evaluates the loss through the workspace forward path
+// without touching gradients.
+func gradCheckLoss(net *Network, ws *TrainWorkspace, x, y *tensor.Matrix, kind LossKind) float64 {
+	pred := net.ForwardTrain(ws, x)
+	return LossInto(kind, pred, y, &ws.grad)
+}
+
+// checkGradients compares analytic and numeric gradients for every scalar
+// parameter of net on one batch.
+func checkGradients(t *testing.T, net *Network, x, y *tensor.Matrix, kind LossKind) {
+	t.Helper()
+	ws := net.NewTrainWorkspace()
+	params := net.Params()
+	zeroGrads(params)
+	pred := net.ForwardTrain(ws, x)
+	LossInto(kind, pred, y, &ws.grad)
+	net.BackwardTrain(ws, &ws.grad)
+
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float64(nil), p.Grad.Data...)
+	}
+	zeroGrads(params)
+
+	const h = 1e-5
+	const tol = 1e-5
+	for i, p := range params {
+		for k := range p.Value.Data {
+			orig := p.Value.Data[k]
+			p.Value.Data[k] = orig + h
+			lPlus := gradCheckLoss(net, ws, x, y, kind)
+			p.Value.Data[k] = orig - h
+			lMinus := gradCheckLoss(net, ws, x, y, kind)
+			p.Value.Data[k] = orig
+			numeric := (lPlus - lMinus) / (2 * h)
+			got := analytic[i][k]
+			if diff := math.Abs(got - numeric); diff > tol*(1+math.Abs(got)+math.Abs(numeric)) {
+				t.Errorf("%s: param %d elem %d: analytic %.10g vs numeric %.10g (diff %.3g)",
+					kind, i, k, got, numeric, diff)
+			}
+		}
+	}
+}
+
+func gradCheckBatch(seed int64, rows, in, out int, binary bool) (*tensor.Matrix, *tensor.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(rows, in)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := tensor.New(rows, out)
+	for i := range y.Data {
+		if binary {
+			y.Data[i] = float64(rng.Intn(2))
+		} else {
+			y.Data[i] = rng.NormFloat64()
+		}
+	}
+	return x, y
+}
+
+// TestGradCheckDense: plain dense stack with ELU hidden, MSE loss.
+func TestGradCheckDense(t *testing.T) {
+	net := NewNetwork(rand.New(rand.NewSource(61)),
+		DenseSpec(6, 10), ActivationSpec(ELU),
+		DenseSpec(10, 4), ActivationSpec(Tanh),
+		DenseSpec(4, 1))
+	x, y := gradCheckBatch(62, 9, 6, 1, false)
+	checkGradients(t, net, x, y, MSE)
+}
+
+// TestGradCheckBatchNorm: batch-norm gradients (gamma, beta, and the input
+// gradient flowing into the dense layer below) against finite differences.
+func TestGradCheckBatchNorm(t *testing.T) {
+	net := NewNetwork(rand.New(rand.NewSource(63)),
+		DenseSpec(5, 8), BatchNormSpec(8), ActivationSpec(ELU),
+		DenseSpec(8, 1))
+	x, y := gradCheckBatch(64, 11, 5, 1, false)
+	checkGradients(t, net, x, y, MSE)
+}
+
+// TestGradCheckLosses: every named loss against finite differences through
+// the same dense/ELU network (sigmoid head for BCE so predictions live in
+// (0,1); regression targets keep |pred−target| away from MAE's kink at 0
+// and smooth-L1's knee at |d|=1 with probability 1 for generic floats).
+func TestGradCheckLosses(t *testing.T) {
+	for _, tc := range []struct {
+		kind   LossKind
+		binary bool
+	}{
+		{MSE, false}, {MAE, false}, {SmoothL1, false}, {BCE, true},
+	} {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			specs := []LayerSpec{
+				DenseSpec(4, 7), ActivationSpec(ELU),
+				DenseSpec(7, 1),
+			}
+			if tc.kind == BCE {
+				specs = append(specs, ActivationSpec(Sigmoid))
+			}
+			net := NewNetwork(rand.New(rand.NewSource(65)), specs...)
+			x, y := gradCheckBatch(66, 10, 4, 1, tc.binary)
+			checkGradients(t, net, x, y, tc.kind)
+		})
+	}
+}

@@ -31,15 +31,25 @@ const bceEps = 1e-9
 // must be equal-shaped; the returned gradient has the same shape. The scalar
 // is the mean loss over all elements.
 func Loss(kind LossKind, pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	grad := tensor.New(pred.Rows, pred.Cols)
+	return LossInto(kind, pred, target, grad), grad
+}
+
+// LossInto is Loss writing the gradient into grad, which is reshaped to
+// pred's shape reusing its backing array. Every element of grad is written
+// — zero branches included — so a buffer reused across batches is safe.
+// This is the trainer's hot path.
+func LossInto(kind LossKind, pred, target, grad *tensor.Matrix) float64 {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic(fmt.Sprintf("nn: loss shape mismatch %dx%d vs %dx%d",
 			pred.Rows, pred.Cols, target.Rows, target.Cols))
 	}
 	n := float64(len(pred.Data))
 	if n == 0 {
-		return 0, tensor.New(0, 0)
+		reshape(grad, pred.Rows, pred.Cols)
+		return 0
 	}
-	grad := tensor.New(pred.Rows, pred.Cols)
+	reshape(grad, pred.Rows, pred.Cols)
 	var total float64
 	switch kind {
 	case MSE:
@@ -57,6 +67,8 @@ func Loss(kind LossKind, pred, target *tensor.Matrix) (float64, *tensor.Matrix) 
 				grad.Data[i] = 1 / n
 			case d < 0:
 				grad.Data[i] = -1 / n
+			default:
+				grad.Data[i] = 0
 			}
 		}
 	case SmoothL1:
@@ -85,7 +97,7 @@ func Loss(kind LossKind, pred, target *tensor.Matrix) (float64, *tensor.Matrix) 
 	default:
 		panic(fmt.Sprintf("nn: unknown loss %q", kind))
 	}
-	return total / n, grad
+	return total / n
 }
 
 // PinballLoss evaluates the quantile (pinball) loss at quantile tau and its

@@ -503,17 +503,3 @@ func BenchmarkForward33Features(b *testing.B) {
 		net.Predict(in)
 	}
 }
-
-func BenchmarkTrainEpoch(b *testing.B) {
-	rng := rand.New(rand.NewSource(26))
-	x := tensor.New(1024, 33)
-	x.RandN(rng, 1)
-	y := tensor.New(1024, 1)
-	y.RandN(rng, 1)
-	net := NewNetwork(rng, MLPSpecs(33, []int{64, 32}, 1, ELU, Identity, 0)...)
-	tr := Trainer{Net: net, Opt: NewAdam(0.001), Cfg: TrainConfig{Loss: SmoothL1, Epochs: 1, BatchSize: 128, Seed: 6}}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tr.Fit(x, y)
-	}
-}

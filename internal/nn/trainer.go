@@ -58,6 +58,16 @@ func (c *TrainConfig) evalLoss(pred, target *tensor.Matrix) (float64, *tensor.Ma
 	return Loss(c.Loss, pred, target)
 }
 
+// evalLossWS is evalLoss writing the gradient into the workspace's buffer.
+// A custom LossFunc keeps its own allocating contract (it returns a fresh
+// gradient we cannot reuse); the named losses go through LossInto.
+func (c *TrainConfig) evalLossWS(ws *TrainWorkspace, pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if c.LossFunc != nil {
+		return c.LossFunc(pred, target)
+	}
+	return LossInto(c.Loss, pred, target, &ws.grad), &ws.grad
+}
+
 // TrainResult summarizes a training run.
 type TrainResult struct {
 	Epochs     int
@@ -161,6 +171,7 @@ func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult,
 	for w := 1; w < workers; w++ {
 		replicas[w] = t.Net.CloneFor(rand.New(rand.NewSource(cfg.Seed + int64(w))))
 	}
+	st := newTrainState(replicas)
 
 	order := make([]int, nTrain)
 	for i := range order {
@@ -207,7 +218,7 @@ func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult,
 				end = nTrain
 			}
 			batch := order[start:end]
-			l, ok := t.batchStep(replicas, x, y, batch, workers, guard)
+			l, ok := t.batchStep(st, x, y, batch, workers, guard)
 			if !ok {
 				rollback()
 				if events >= patience {
@@ -280,40 +291,72 @@ func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult,
 	return res, nil
 }
 
+// trainState is the per-Fit scratch shared by every batch step: the replica
+// networks, one training workspace per replica, cached Params slices (the
+// Param structs point at stable matrices, so building them once per Fit
+// removes three slice allocations per batch), and the shard bookkeeping for
+// the data-parallel path. Together with the workspaces this makes a warm
+// serial batch step allocation-free.
+type trainState struct {
+	replicas []*Network
+	wss      []*TrainWorkspace
+	params   [][]Param // params[w] belongs to replicas[w]; [0] is the master
+	losses   []float64
+	sizes    []int
+}
+
+func newTrainState(replicas []*Network) *trainState {
+	st := &trainState{
+		replicas: replicas,
+		wss:      make([]*TrainWorkspace, len(replicas)),
+		params:   make([][]Param, len(replicas)),
+		losses:   make([]float64, len(replicas)),
+		sizes:    make([]int, len(replicas)),
+	}
+	for w, r := range replicas {
+		st.wss[w] = r.NewTrainWorkspace()
+		st.params[w] = r.Params()
+	}
+	return st
+}
+
 // batchStep computes the batch gradient (possibly sharded across replicas),
 // applies one optimizer step to the master network, and returns the batch
 // loss. With guard set, a non-finite loss or gradient skips the optimizer
 // step, zeroes the accumulated gradients, and returns ok=false so the
-// caller can roll back.
-func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []int, workers int, guard bool) (float64, bool) {
+// caller can roll back. All intermediate tensors live in st's workspaces.
+func (t *Trainer) batchStep(st *trainState, x, y *tensor.Matrix, batch []int, workers int, guard bool) (float64, bool) {
+	master := st.params[0]
 	if workers <= 1 || len(batch) < 2*workers {
-		xb := x.SelectRows(batch)
-		yb := y.SelectRows(batch)
-		pred := t.Net.Forward(xb, true)
-		l, grad := t.Cfg.evalLoss(pred, yb)
+		ws := st.wss[0]
+		xb := x.SelectRowsInto(batch, &ws.xb)
+		yb := y.SelectRowsInto(batch, &ws.yb)
+		pred := t.Net.ForwardTrain(ws, xb)
+		l, grad := t.Cfg.evalLossWS(ws, pred, yb)
 		if guard && (math.IsNaN(l) || math.IsInf(l, 0)) {
-			zeroGrads(t.Net.Params())
+			zeroGrads(master)
 			return l, false
 		}
-		t.Net.Backward(grad)
-		if guard && !gradsFinite(t.Net.Params()) {
-			zeroGrads(t.Net.Params())
+		t.Net.BackwardTrain(ws, grad)
+		if guard && !gradsFinite(master) {
+			zeroGrads(master)
 			return l, false
 		}
-		clipGradients(t.Net.Params(), t.Cfg.ClipNorm)
-		t.Opt.Step(t.Net.Params())
+		clipGradients(master, t.Cfg.ClipNorm)
+		t.Opt.Step(master)
 		return l, true
 	}
 
 	// Shard the batch; each replica computes gradients on its shard with
 	// the loss gradient scaled to the shard size, then shard gradients are
 	// combined weighted by shard fraction so the result equals the
-	// full-batch gradient.
+	// full-batch gradient. Each replica owns its workspace, so shards reuse
+	// their SelectRows gather buffers and activation tensors across batches.
 	for w := 1; w < workers; w++ {
-		replicas[w].CopyWeightsFrom(t.Net)
+		st.replicas[w].CopyWeightsFrom(t.Net)
+		st.sizes[w] = 0
 	}
-	losses := make([]float64, workers)
-	sizes := make([]int, workers)
+	st.sizes[0] = 0
 	chunk := (len(batch) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -328,14 +371,15 @@ func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []in
 		wg.Add(1)
 		go func(w int, shard []int) {
 			defer wg.Done()
-			xb := x.SelectRows(shard)
-			yb := y.SelectRows(shard)
-			net := replicas[w]
-			pred := net.Forward(xb, true)
-			l, grad := t.Cfg.evalLoss(pred, yb)
-			net.Backward(grad)
-			losses[w] = l
-			sizes[w] = len(shard)
+			ws := st.wss[w]
+			xb := x.SelectRowsInto(shard, &ws.xb)
+			yb := y.SelectRowsInto(shard, &ws.yb)
+			net := st.replicas[w]
+			pred := net.ForwardTrain(ws, xb)
+			l, grad := t.Cfg.evalLossWS(ws, pred, yb)
+			net.BackwardTrain(ws, grad)
+			st.losses[w] = l
+			st.sizes[w] = len(shard)
 		}(w, batch[lo:hi])
 	}
 	wg.Wait()
@@ -343,19 +387,18 @@ func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []in
 	// Combine: master (replica 0) already holds its own shard's gradient;
 	// scale it and add the others, all weighted by shard fraction.
 	total := float64(len(batch))
-	master := t.Net.Params()
 	for i := range master {
-		w0 := float64(sizes[0]) / total
+		w0 := float64(st.sizes[0]) / total
 		for k := range master[i].Grad.Data {
 			master[i].Grad.Data[k] *= w0
 		}
 	}
 	for w := 1; w < workers; w++ {
-		if sizes[w] == 0 {
+		if st.sizes[w] == 0 {
 			continue
 		}
-		frac := float64(sizes[w]) / total
-		rp := replicas[w].Params()
+		frac := float64(st.sizes[w]) / total
+		rp := st.params[w]
 		for i := range master {
 			for k, g := range rp[i].Grad.Data {
 				master[i].Grad.Data[k] += frac * g
@@ -365,7 +408,7 @@ func (t *Trainer) batchStep(replicas []*Network, x, y *tensor.Matrix, batch []in
 	}
 	var l float64
 	for w := 0; w < workers; w++ {
-		l += losses[w] * float64(sizes[w]) / total
+		l += st.losses[w] * float64(st.sizes[w]) / total
 	}
 	if guard && ((math.IsNaN(l) || math.IsInf(l, 0)) || !gradsFinite(master)) {
 		zeroGrads(master)

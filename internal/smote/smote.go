@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Config controls balancing.
@@ -141,28 +143,12 @@ func synthesize(rng *rand.Rand, X [][]float64, minIdx []int, k, need int) [][]fl
 		k = len(minIdx) - 1
 	}
 	// Precompute k nearest minority neighbors for each minority point
-	// (brute force: minority sets here are small after the paper's 87/13
-	// imbalance is subsampled for training).
-	neighbors := make([][]int, len(minIdx))
-	type dn struct {
-		d   float64
-		idx int
-	}
-	for a := range minIdx {
-		ds := make([]dn, 0, len(minIdx)-1)
-		for b := range minIdx {
-			if a == b {
-				continue
-			}
-			ds = append(ds, dn{dist2(X[minIdx[a]], X[minIdx[b]]), b})
-		}
-		sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
-		nb := make([]int, k)
-		for i := 0; i < k; i++ {
-			nb[i] = ds[i].idx
-		}
-		neighbors[a] = nb
-	}
+	// (brute force O(n²), the dominant cost of Balance). Rows are
+	// independent and the RNG is untouched here, so the search fans out
+	// across workers without changing the seeded output: each row's
+	// neighbor list depends only on the distances, and the interpolation
+	// loop below consumes the RNG in the exact same order either way.
+	neighbors := neighborLists(X, minIdx, k)
 	out := make([][]float64, 0, need)
 	for len(out) < need {
 		a := rng.Intn(len(minIdx))
@@ -176,6 +162,66 @@ func synthesize(rng *rand.Rand, X [][]float64, minIdx []int, k, need int) [][]fl
 		out = append(out, row)
 	}
 	return out
+}
+
+// neighborParallelRows is the minority size below which the quadratic
+// neighbor search stays serial (goroutine fan-out costs more than it saves).
+const neighborParallelRows = 256
+
+// neighborLists computes each minority point's k nearest minority neighbors,
+// row-parallel for large minority sets. Deterministic regardless of worker
+// count: every row's result is a pure function of the distances.
+func neighborLists(X [][]float64, minIdx []int, k int) [][]int {
+	neighbors := make([][]int, len(minIdx))
+	type dn struct {
+		d   float64
+		idx int
+	}
+	row := func(a int, ds []dn) {
+		ds = ds[:0]
+		for b := range minIdx {
+			if a == b {
+				continue
+			}
+			ds = append(ds, dn{dist2(X[minIdx[a]], X[minIdx[b]]), b})
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+		nb := make([]int, k)
+		for i := 0; i < k; i++ {
+			nb[i] = ds[i].idx
+		}
+		neighbors[a] = nb
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if len(minIdx) < neighborParallelRows || workers < 2 {
+		ds := make([]dn, 0, len(minIdx)-1)
+		for a := range minIdx {
+			row(a, ds)
+		}
+		return neighbors
+	}
+	var wg sync.WaitGroup
+	chunk := (len(minIdx) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(minIdx) {
+			hi = len(minIdx)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ds := make([]dn, 0, len(minIdx)-1)
+			for a := lo; a < hi; a++ {
+				row(a, ds)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return neighbors
 }
 
 func dist2(a, b []float64) float64 {

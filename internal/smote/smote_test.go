@@ -3,6 +3,7 @@ package smote
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -196,5 +197,39 @@ func TestBalanceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBalanceParallelInvariance: the row-parallel neighbor search must not
+// change Balance's seeded output — same dataset, same seed, GOMAXPROCS 1
+// (serial path) vs 4 (parallel path), identical results. The minority set
+// is sized past neighborParallelRows so the parallel path actually runs.
+func TestBalanceParallelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := imbalanced(rng, 4000, neighborParallelRows+40)
+
+	run := func(procs int) ([][]float64, []bool) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		bx, by, err := Balance(Config{Seed: 10}, X, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bx, by
+	}
+	ax, ay := run(1)
+	bx, by := run(4)
+	if len(ax) != len(bx) {
+		t.Fatalf("sizes differ: %d vs %d", len(ax), len(bx))
+	}
+	for i := range ax {
+		if ay[i] != by[i] {
+			t.Fatalf("label %d differs across worker counts", i)
+		}
+		for j := range ax[i] {
+			if ax[i][j] != bx[i][j] {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, ax[i][j], bx[i][j])
+			}
+		}
 	}
 }

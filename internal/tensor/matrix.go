@@ -258,6 +258,31 @@ func matMulTransBRange(a, b, out *Matrix, lo, hi int) {
 	}
 }
 
+// MatMulTransAAccum accumulates out += aᵀ*b without materializing the
+// transpose — the dense-layer weight-gradient kernel (dW += inᵀ·gradOut).
+// out must be a.Cols x b.Cols and must not alias a or b. Accumulation per
+// destination element runs over a's rows in ascending order, matching
+// AddInPlace(out, MatMul(a.T(), b)) bit for bit when out starts zeroed.
+func MatMulTransAAccum(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransAAccum shape mismatch (%dx%d)T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAAccum destination %dx%d for %dx%d product", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Data[i*n : i*n+n]
+		for k, av := range arow {
+			orow := out.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
 // Add returns a+b element-wise.
 func Add(a, b *Matrix) *Matrix { return zipNew(a, b, func(x, y float64) float64 { return x + y }) }
 
@@ -380,6 +405,21 @@ func (m *Matrix) Sum() float64 {
 // SelectRows gathers the given rows (copying) into a new matrix.
 func (m *Matrix) SelectRows(idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
+	for k, i := range idx {
+		copy(out.Row(k), m.Row(i))
+	}
+	return out
+}
+
+// SelectRowsInto gathers the given rows into out, reshaping it to
+// len(idx) x m.Cols and growing its backing array only when too small —
+// the allocation-free sibling of SelectRows for hot batch loops.
+func (m *Matrix) SelectRowsInto(idx []int, out *Matrix) *Matrix {
+	need := len(idx) * m.Cols
+	if cap(out.Data) < need {
+		out.Data = make([]float64, need)
+	}
+	out.Rows, out.Cols, out.Data = len(idx), m.Cols, out.Data[:need]
 	for k, i := range idx {
 		copy(out.Row(k), m.Row(i))
 	}
