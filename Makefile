@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke bench bench-json bench-smoke bench-check ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke bench bench-json bench-smoke bench-check ci clean
 
 all: build
 
@@ -33,6 +33,11 @@ fmt-check:
 # Short fuzz of the event decoder (corpus seeds + 5s of mutation).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/livestate
+
+# Line-by-line lint of the /metrics Prometheus exposition (HELP/TYPE
+# pairing, label escaping, cumulative buckets, deterministic ordering).
+metrics-smoke:
+	$(GO) test -run TestMetricsExposition .
 
 # Legacy O(N) snapshot scan vs the livestate engine's indexed extraction,
 # in benchstat-friendly form:
@@ -73,7 +78,7 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_train.json bench_check.txt
 	rm -f bench_check.txt
 
-ci: fmt-check vet build race fuzz-smoke bench-smoke bench-check
+ci: fmt-check vet build race fuzz-smoke metrics-smoke bench-smoke bench-check
 
 clean:
 	$(GO) clean ./...

@@ -7,11 +7,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/livestate"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -155,7 +157,21 @@ func minutesPrediction(minutes, cutoff float64) core.Prediction {
 // partition) returns an error — that is a bad request, not a degraded
 // model.
 func (b *Bundle) PredictWithFallback(snap *Snapshot) (TieredPrediction, error) {
+	return b.PredictWithFallbackSpans(snap, nil)
+}
+
+// PredictWithFallbackSpans is PredictWithFallback with per-stage span
+// timing (featurize, scale, classify, regress, fallback) recorded into
+// sp. A nil sp skips all timing, making the two paths identical.
+func (b *Bundle) PredictWithFallbackSpans(snap *Snapshot, sp *obs.Spans) (TieredPrediction, error) {
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	row, err := features.SnapshotRow(snap, &b.Cluster, b.Runtime)
+	if sp != nil {
+		sp.Observe(obs.StageFeaturize, time.Since(t0).Seconds())
+	}
 	if err != nil {
 		return TieredPrediction{}, err
 	}
@@ -166,10 +182,10 @@ func (b *Bundle) PredictWithFallback(snap *Snapshot) (TieredPrediction, error) {
 			if b.Model == nil {
 				return core.Prediction{}, fmt.Errorf("no model in bundle")
 			}
-			return b.Model.Predict(row), nil
+			return b.Model.PredictSpans(row, sp), nil
 		},
 		Check: checkPrediction,
-	}}, b.degradedSteps(row, snap.Target.Partition, cutoff)...)
+	}}, b.degradedStepsSpans(row, snap.Target.Partition, cutoff, sp)...)
 	pred, tier, err := resilience.Run(steps, nil)
 	if err != nil {
 		return TieredPrediction{}, err
@@ -215,6 +231,25 @@ func (b *Bundle) degradedSteps(row []float64, partition string, cutoff float64) 
 	}
 }
 
+// degradedStepsSpans wraps the degraded tiers so each attempt records a
+// "fallback" span. A nil sp returns the plain steps.
+func (b *Bundle) degradedStepsSpans(row []float64, partition string, cutoff float64, sp *obs.Spans) []resilience.Step[core.Prediction] {
+	steps := b.degradedSteps(row, partition, cutoff)
+	if sp == nil {
+		return steps
+	}
+	for i := range steps {
+		inner := steps[i].Predict
+		steps[i].Predict = func() (core.Prediction, error) {
+			t0 := time.Now()
+			p, err := inner()
+			sp.Observe(obs.StageFallback, time.Since(t0).Seconds())
+			return p, err
+		}
+	}
+	return steps
+}
+
 // BatchResult is one job's outcome from PredictBatchWithFallback: either a
 // tiered prediction or a per-job error (bad feature row, or every tier
 // refused) — one job's failure never fails the batch.
@@ -232,9 +267,21 @@ type BatchResult struct {
 // each result is identical (values and tier label) to PredictWithFallback
 // on that snapshot.
 func (b *Bundle) PredictBatchWithFallback(snaps []*Snapshot) []BatchResult {
+	return b.PredictBatchWithFallbackSpans(snaps, nil)
+}
+
+// PredictBatchWithFallbackSpans is PredictBatchWithFallback with stage
+// spans: featurize covers row staging, batch_nn the mini-batched forward
+// passes, and fallback the degraded per-row chains (one span covering all
+// fallen-back rows). A nil sp skips all timing.
+func (b *Bundle) PredictBatchWithFallbackSpans(snaps []*Snapshot, sp *obs.Spans) []BatchResult {
 	results := make([]BatchResult, len(snaps))
 	cutoff := b.cutoffMinutes()
 
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	// Stage the feature rows; per-row failures are bad requests, not
 	// batch failures.
 	rows := make([][]float64, 0, len(snaps))
@@ -248,22 +295,43 @@ func (b *Bundle) PredictBatchWithFallback(snaps []*Snapshot) []BatchResult {
 		rows = append(rows, row)
 		rowOf = append(rowOf, i)
 	}
+	if sp != nil {
+		sp.Observe(obs.StageFeaturize, time.Since(t0).Seconds())
+	}
 	if len(rows) == 0 {
 		return results
 	}
 
+	if sp != nil {
+		t0 = time.Now()
+	}
 	preds, ok := b.tryPredictBatch(rows)
+	if sp != nil {
+		sp.Observe(obs.StageBatchNN, time.Since(t0).Seconds())
+	}
+	var fallbackSecs float64
+	fellBack := false
 	for k, i := range rowOf {
 		if ok && checkPrediction(preds[k]) == nil {
 			results[i] = BatchResult{TieredPrediction: TieredPrediction{Prediction: preds[k], Tier: resilience.TierNN}}
 			continue
 		}
+		if sp != nil {
+			t0 = time.Now()
+		}
 		pred, tier, err := resilience.Run(b.degradedSteps(rows[k], snaps[i].Target.Partition, cutoff), nil)
+		if sp != nil {
+			fallbackSecs += time.Since(t0).Seconds()
+			fellBack = true
+		}
 		if err != nil {
 			results[i].Err = err
 			continue
 		}
 		results[i] = BatchResult{TieredPrediction: TieredPrediction{Prediction: pred, Tier: tier}}
+	}
+	if sp != nil && fellBack {
+		sp.Observe(obs.StageFallback, fallbackSecs)
 	}
 	return results
 }

@@ -24,6 +24,12 @@
 // run every -checkpoint-interval, and a restart recovers checkpoint + WAL
 // tail, so mid-stream crashes lose nothing that reached disk.
 //
+// All daemon output is structured (log/slog): -log-format selects json
+// (default, machine-shippable) or text, -log-level sets the threshold.
+// Every request carries a trace ID (accepted via X-Request-ID or
+// generated) that appears in the access log, the response header, and the
+// per-stage span records.
+//
 // -pprof localhost:6060 exposes net/http/pprof (CPU, heap, goroutine
 // profiles) on a separate listener, keeping the debug surface off the
 // service address.
@@ -37,7 +43,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -48,12 +55,11 @@ import (
 
 	trout "repro"
 	"repro/internal/livestate"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("troutd: ")
 	var (
 		bundlePath = flag.String("bundle", "trout.bundle", "trained bundle")
 		statePath  = flag.String("state", "", "initial queue state (csv/jsonl trace)")
@@ -69,25 +75,43 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
 		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
 
+		logLevel  = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
+		logFormat = flag.String("log-format", "json", "log encoding: json|text")
+
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "troutd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.Any("error", err))
+		os.Exit(1)
+	}
+
 	b, err := trout.LoadBundleFile(*bundlePath)
 	if err != nil {
-		log.Fatal(err)
+		fatal("load bundle", err)
 	}
-	tr, err := loadState(*statePath, *maxBadRows)
+	tr, err := loadState(logger, *statePath, *maxBadRows)
 	if err != nil {
-		log.Fatal(err)
+		fatal("load state", err)
 	}
-	store, err := livestate.OpenStore(livestate.StoreOptions{Dir: *walDir, Logf: log.Printf})
+	store, err := livestate.OpenStore(livestate.StoreOptions{Dir: *walDir, Logf: obs.Logf(logger)})
 	if err != nil {
-		log.Fatal(err)
+		fatal("open live-state store", err)
 	}
 	if rep := store.Recovered(); *walDir != "" {
-		log.Printf("live state recovered from %s: checkpoint lsn %d, %d events replayed, %d rejected on replay, %d torn bytes dropped",
-			*walDir, rep.CheckpointLSN, rep.Replayed, rep.ApplyErrors, rep.TruncatedBytes)
+		logger.Info("live state recovered",
+			slog.String("dir", *walDir),
+			slog.Uint64("checkpoint_lsn", rep.CheckpointLSN),
+			slog.Uint64("replayed", rep.Replayed),
+			slog.Uint64("rejected_on_replay", rep.ApplyErrors),
+			slog.Int64("torn_bytes_dropped", rep.TruncatedBytes),
+		)
 	}
 	svc, err := trout.NewServiceWith(b, tr, trout.ServiceConfig{
 		RequestTimeout:  *requestTimeout,
@@ -95,10 +119,10 @@ func main() {
 		MaxBadStateRows: *maxBadRows,
 		MaxBatchJobs:    *maxBatch,
 		Live:            store,
-		Logf:            log.Printf,
+		Logger:          logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("build service", err)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -126,9 +150,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("pprof serve: %v", err)
+				logger.Error("pprof serve", slog.Any("error", err))
 			}
 		}()
 	}
@@ -145,7 +169,7 @@ func main() {
 					return
 				case <-tick.C:
 					if err := store.Checkpoint(); err != nil {
-						log.Printf("checkpoint: %v", err)
+						logger.Error("checkpoint", slog.Any("error", err))
 					}
 				}
 			}
@@ -154,44 +178,49 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (cutoff %.0f min, %d queue jobs, %d live-tracked)",
-		*addr, b.Model.Cfg.CutoffMinutes, queueLen(tr), store.Engine().Stats().Tracked)
+	logger.Info("serving",
+		slog.String("addr", *addr),
+		slog.Float64("cutoff_minutes", b.Model.Cfg.CutoffMinutes),
+		slog.Int("queue_jobs", queueLen(tr)),
+		slog.Int("live_tracked", store.Engine().Stats().Tracked),
+	)
 
 	select {
 	case err := <-errc:
 		// The listener failed outright (e.g. port in use).
-		log.Fatal(err)
+		fatal("listen", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills immediately
 		svc.SetReady(false)
-		log.Printf("signal received; draining in-flight requests for up to %s", *shutdownGrace)
+		logger.Info("signal received; draining in-flight requests",
+			slog.Duration("grace", *shutdownGrace))
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", slog.Any("error", err))
 		}
 		if pprofSrv != nil {
 			if err := pprofSrv.Shutdown(sctx); err != nil {
-				log.Printf("pprof shutdown: %v", err)
+				logger.Error("pprof shutdown", slog.Any("error", err))
 			}
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("serve: %v", err)
+			logger.Error("serve", slog.Any("error", err))
 		}
 		// A final checkpoint makes the next boot replay-free.
 		if err := store.Checkpoint(); err != nil {
-			log.Printf("final checkpoint: %v", err)
+			logger.Error("final checkpoint", slog.Any("error", err))
 		}
 		if err := store.Close(); err != nil {
-			log.Printf("wal close: %v", err)
+			logger.Error("wal close", slog.Any("error", err))
 		}
-		log.Printf("drained; exiting")
+		logger.Info("drained; exiting")
 	}
 }
 
 // loadState reads the initial queue state with the tolerant codecs,
 // logging (rather than dying on) corrupt rows within the budget.
-func loadState(path string, maxBadRows int) (*trout.Trace, error) {
+func loadState(logger *slog.Logger, path string, maxBadRows int) (*trout.Trace, error) {
 	if path == "" {
 		return nil, nil
 	}
@@ -211,8 +240,12 @@ func loadState(path string, maxBadRows int) (*trout.Trace, error) {
 		return nil, err
 	}
 	if rep.Skipped > 0 {
-		log.Printf("state %s: skipped %d malformed rows (first: line %d: %s)",
-			path, rep.Skipped, rep.Errors[0].Line, rep.Errors[0].Err)
+		logger.Warn("state: skipped malformed rows",
+			slog.String("path", path),
+			slog.Int("skipped", rep.Skipped),
+			slog.Int("first_bad_line", rep.Errors[0].Line),
+			slog.String("first_error", rep.Errors[0].Err),
+		)
 	}
 	return tr, nil
 }

@@ -20,8 +20,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"repro/internal/features"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/scaling"
 	"repro/internal/smote"
 	"repro/internal/tensor"
@@ -111,11 +114,27 @@ func Train(ds *features.Dataset, trainIdx []int, cfg Config) (*Model, error) {
 	return TrainCtx(context.Background(), ds, trainIdx, cfg)
 }
 
+// TrainHooks observes training progress across both heads. The head
+// argument is "classifier" or "regressor". Hooks live outside Config on
+// purpose: Config is gob-encoded into saved model bundles, and function
+// fields would break that wire format.
+type TrainHooks struct {
+	// OnEpoch fires after every completed epoch of either head.
+	OnEpoch func(head string, stats nn.EpochStats)
+	// OnRollback fires after every divergence rollback.
+	OnRollback func(head string, epoch, events int, lr float64)
+}
+
 // TrainCtx is Train with cooperative cancellation: both heads' fits stop
 // between batches once ctx is cancelled. A diverging fit (non-finite losses
 // past the trainer's patience) surfaces as an *nn.DivergenceError instead
 // of silently producing a NaN model.
 func TrainCtx(ctx context.Context, ds *features.Dataset, trainIdx []int, cfg Config) (*Model, error) {
+	return TrainCtxHooked(ctx, ds, trainIdx, cfg, TrainHooks{})
+}
+
+// TrainCtxHooked is TrainCtx with per-epoch and rollback telemetry hooks.
+func TrainCtxHooked(ctx context.Context, ds *features.Dataset, trainIdx []int, cfg Config, hooks TrainHooks) (*Model, error) {
 	if len(trainIdx) < 10 {
 		return nil, fmt.Errorf("core: only %d training samples", len(trainIdx))
 	}
@@ -152,7 +171,7 @@ func TrainCtx(ctx context.Context, ds *features.Dataset, trainIdx []int, cfg Con
 			cx, cy = X, labels
 		}
 	}
-	m.Classifier, err = trainClassifier(ctx, cx, cy, dim, cfg)
+	m.Classifier, err = trainClassifier(ctx, cx, cy, dim, cfg, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +188,7 @@ func TrainCtx(ctx context.Context, ds *features.Dataset, trainIdx []int, cfg Con
 	if len(rx) < 10 {
 		return nil, fmt.Errorf("core: only %d long jobs to train the regressor", len(rx))
 	}
-	m.Regressor, err = trainRegressor(ctx, rx, ry, dim, cfg)
+	m.Regressor, err = trainRegressor(ctx, rx, ry, dim, cfg, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +204,19 @@ func toMatrices(X [][]float64, y []float64) (*tensor.Matrix, *tensor.Matrix) {
 	return xm, ym
 }
 
-func trainClassifier(ctx context.Context, X [][]float64, labels []bool, dim int, cfg Config) (*nn.Network, error) {
+// hookCfg wires TrainHooks into one head's nn.TrainConfig.
+func hookCfg(tc *nn.TrainConfig, head string, hooks TrainHooks) {
+	if hooks.OnEpoch != nil {
+		tc.OnEpochStats = func(stats nn.EpochStats) { hooks.OnEpoch(head, stats) }
+	}
+	if hooks.OnRollback != nil {
+		tc.OnRollback = func(epoch, events int, lr float64) {
+			hooks.OnRollback(head, epoch, events, lr)
+		}
+	}
+}
+
+func trainClassifier(ctx context.Context, X [][]float64, labels []bool, dim int, cfg Config, hooks TrainHooks) (*nn.Network, error) {
 	h := cfg.Classifier
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	net := nn.NewNetwork(rng, nn.MLPSpecs(dim, h.Hidden, 1, h.Activation, nn.Sigmoid, h.Dropout)...)
@@ -204,13 +235,14 @@ func trainClassifier(ctx context.Context, X [][]float64, labels []bool, dim int,
 			Workers: cfg.Workers, Seed: cfg.Seed + 2,
 		},
 	}
+	hookCfg(&tr.Cfg, "classifier", hooks)
 	if _, err := tr.FitCtx(ctx, xm, ym); err != nil {
 		return nil, fmt.Errorf("core: classifier training: %w", err)
 	}
 	return net, nil
 }
 
-func trainRegressor(ctx context.Context, X [][]float64, y []float64, dim int, cfg Config) (*nn.Network, error) {
+func trainRegressor(ctx context.Context, X [][]float64, y []float64, dim int, cfg Config, hooks TrainHooks) (*nn.Network, error) {
 	h := cfg.Regressor
 	rng := rand.New(rand.NewSource(cfg.Seed + 3))
 	var specs []nn.LayerSpec
@@ -241,6 +273,7 @@ func trainRegressor(ctx context.Context, X [][]float64, y []float64, dim int, cf
 			Workers: cfg.Workers, Seed: cfg.Seed + 4,
 		},
 	}
+	hookCfg(&tr.Cfg, "regressor", hooks)
 	if _, err := tr.FitCtx(ctx, xm, ym); err != nil {
 		return nil, fmt.Errorf("core: regressor training: %w", err)
 	}
@@ -254,6 +287,35 @@ func (m *Model) Predict(raw []float64) Prediction {
 	p := Prediction{Prob: prob, Long: prob >= 0.5}
 	if p.Long {
 		p.Minutes = math.Expm1(m.Regressor.Predict1(x))
+		if p.Minutes < m.Cfg.CutoffMinutes {
+			// The hierarchical contract: the regressor only speaks for
+			// jobs past the cutoff.
+			p.Minutes = m.Cfg.CutoffMinutes
+		}
+	}
+	return p
+}
+
+// PredictSpans is Predict with per-stage span timing (scale, classify,
+// regress) recorded into sp. A nil sp falls through to the untimed path,
+// so serving code can call this unconditionally.
+func (m *Model) PredictSpans(raw []float64, sp *obs.Spans) Prediction {
+	if sp == nil {
+		return m.Predict(raw)
+	}
+	t0 := time.Now()
+	x := m.Scaler.Transform(raw)
+	sp.Observe(obs.StageScale, time.Since(t0).Seconds())
+
+	t0 = time.Now()
+	prob := m.Classifier.Predict1(x)
+	sp.Observe(obs.StageClassify, time.Since(t0).Seconds())
+
+	p := Prediction{Prob: prob, Long: prob >= 0.5}
+	if p.Long {
+		t0 = time.Now()
+		p.Minutes = math.Expm1(m.Regressor.Predict1(x))
+		sp.Observe(obs.StageRegress, time.Since(t0).Seconds())
 		if p.Minutes < m.Cfg.CutoffMinutes {
 			// The hierarchical contract: the regressor only speaks for
 			// jobs past the cutoff.

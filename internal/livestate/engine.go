@@ -92,6 +92,9 @@ type Engine struct {
 	now    int64
 	counts map[EventType]uint64
 	errs   uint64
+	// onStart, when set, observes applied start events (the online
+	// accuracy tracker's join signal). Invoked outside the engine lock.
+	onStart func(jobID int, eligible, start int64)
 }
 
 // NewEngine returns an empty engine.
@@ -122,13 +125,37 @@ func (e *Engine) part(name string) *partState {
 	return p
 }
 
+// SetStartObserver registers fn to be called after every successfully
+// applied start event with the job's ID, eligible time, and start time.
+// The callback runs outside the engine lock, so it may call back into the
+// engine; it must be fast (it sits on the event-ingest path). A nil fn
+// clears the observer. Replace-style loads (SeedFromTrace, checkpoint
+// restore) do not fire it — only live start events do.
+func (e *Engine) SetStartObserver(fn func(jobID int, eligible, start int64)) {
+	e.mu.Lock()
+	e.onStart = fn
+	e.mu.Unlock()
+}
+
 // ApplyEvent applies one event. Rejected events (duplicate, unknown job,
 // stale ordering, invalid shape) return a typed error and leave state
 // untouched; the stream is expected to continue.
 func (e *Engine) ApplyEvent(ev Event) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.apply(ev)
+	err := e.apply(ev)
+	var notify func()
+	if err == nil && ev.Type == EventStart && e.onStart != nil {
+		if js, ok := e.jobs[ev.ID()]; ok {
+			fn := e.onStart
+			id, eligible, start := js.job.ID, js.job.Eligible, js.job.Start
+			notify = func() { fn(id, eligible, start) }
+		}
+	}
+	e.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return err
 }
 
 func (e *Engine) apply(ev Event) error {

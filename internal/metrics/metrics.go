@@ -4,6 +4,14 @@
 // threshold (Figs 8/9), binary classification accuracy and the related
 // confusion-matrix quantities, plus standard regression errors and the
 // histogram helper behind the queue-time density figure (Fig 2).
+//
+// These are *offline* measures: they score a trained model against a
+// held-out dataset. Runtime telemetry for the serving stack — request
+// counters, latency histograms, the /metrics exposition, and the rolling
+// *online* accuracy of served predictions against realized queue times —
+// lives in internal/obs instead. If a number describes a model on a test
+// set, it belongs here; if it describes a process serving traffic, it
+// belongs in internal/obs.
 package metrics
 
 import (

@@ -27,6 +27,15 @@ type TrainConfig struct {
 	Patience int
 	// Silent suppresses the per-epoch callback.
 	OnEpoch func(epoch int, trainLoss, valLoss float64)
+	// OnEpochStats, when non-nil, receives richer telemetry after each
+	// epoch: losses plus the last batch's global gradient L2 norm and the
+	// learning rate in effect. Setting it enables the (cheap, alloc-free)
+	// per-batch norm computation.
+	OnEpochStats func(stats EpochStats)
+	// OnRollback, when non-nil, is invoked after each divergence rollback
+	// with the epoch, the cumulative divergent-event count, and the
+	// post-halving learning rate.
+	OnRollback func(epoch, events int, lr float64)
 	// Seed drives batch shuffling and worker dropout masks.
 	Seed int64
 	// ClipNorm rescales each batch's gradient so its global L2 norm does
@@ -66,6 +75,19 @@ func (c *TrainConfig) evalLossWS(ws *TrainWorkspace, pred, target *tensor.Matrix
 		return c.LossFunc(pred, target)
 	}
 	return LossInto(c.Loss, pred, target, &ws.grad), &ws.grad
+}
+
+// EpochStats is the per-epoch telemetry handed to OnEpochStats.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	// ValLoss is NaN when no validation holdout is configured.
+	ValLoss float64
+	// GradNorm is the global gradient L2 norm of the epoch's last
+	// successful batch step (pre-clipping).
+	GradNorm float64
+	// LR is the optimizer learning rate in effect during the epoch.
+	LR float64
 }
 
 // TrainResult summarizes a training run.
@@ -195,17 +217,35 @@ func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult,
 	}
 	lastFinite := math.NaN()
 	events := 0
+	curEpoch := 0
 	res := TrainResult{}
 	rollback := func() {
 		events++
 		t.Net.CopyWeightsFrom(ckpt)
 		t.Opt.SetLR(t.Opt.LR() / 2)
 		res.Rollbacks++
+		if cfg.OnRollback != nil {
+			cfg.OnRollback(curEpoch, events, t.Opt.LR())
+		}
+	}
+
+	emitEpoch := func(epoch int, trainLoss, valLoss, lr float64) {
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, trainLoss, valLoss)
+		}
+		if cfg.OnEpochStats != nil {
+			cfg.OnEpochStats(EpochStats{
+				Epoch: epoch, TrainLoss: trainLoss, ValLoss: valLoss,
+				GradNorm: st.lastGradNorm, LR: lr,
+			})
+		}
 	}
 
 	best := math.Inf(1)
 	badEpochs := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		curEpoch = epoch
+		epochLR := t.Opt.LR()
 		rng.Shuffle(nTrain, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		var nBatches int
@@ -263,9 +303,7 @@ func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult,
 			res.BestVal = best
 			if cfg.Patience > 0 && badEpochs >= cfg.Patience {
 				res.EarlyStops = true
-				if cfg.OnEpoch != nil {
-					cfg.OnEpoch(epoch, epochLoss, valLoss)
-				}
+				emitEpoch(epoch, epochLoss, valLoss, epochLR)
 				break
 			}
 		}
@@ -281,9 +319,7 @@ func (t *Trainer) FitCtx(ctx context.Context, x, y *tensor.Matrix) (TrainResult,
 				ckpt.CopyWeightsFrom(t.Net)
 			}
 		}
-		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(epoch, epochLoss, valLoss)
-		}
+		emitEpoch(epoch, epochLoss, valLoss, epochLR)
 		if cfg.LRDecay > 0 && cfg.LRDecay != 1 {
 			t.Opt.SetLR(t.Opt.LR() * cfg.LRDecay)
 		}
@@ -303,6 +339,10 @@ type trainState struct {
 	params   [][]Param // params[w] belongs to replicas[w]; [0] is the master
 	losses   []float64
 	sizes    []int
+	// lastGradNorm is the pre-clip global gradient L2 norm of the most
+	// recent successful batch step; only maintained when the config's
+	// OnEpochStats hook is set.
+	lastGradNorm float64
 }
 
 func newTrainState(replicas []*Network) *trainState {
@@ -341,6 +381,9 @@ func (t *Trainer) batchStep(st *trainState, x, y *tensor.Matrix, batch []int, wo
 		if guard && !gradsFinite(master) {
 			zeroGrads(master)
 			return l, false
+		}
+		if t.Cfg.OnEpochStats != nil {
+			st.lastGradNorm = gradNorm(master)
 		}
 		clipGradients(master, t.Cfg.ClipNorm)
 		t.Opt.Step(master)
@@ -414,6 +457,9 @@ func (t *Trainer) batchStep(st *trainState, x, y *tensor.Matrix, batch []int, wo
 		zeroGrads(master)
 		return l, false
 	}
+	if t.Cfg.OnEpochStats != nil {
+		st.lastGradNorm = gradNorm(master)
+	}
 	clipGradients(master, t.Cfg.ClipNorm)
 	t.Opt.Step(master)
 	return l, true
@@ -439,19 +485,24 @@ func zeroGrads(params []Param) {
 	}
 }
 
-// clipGradients rescales all gradients in place so their global L2 norm is
-// at most maxNorm (no-op when maxNorm <= 0 or the norm is already within).
-func clipGradients(params []Param, maxNorm float64) {
-	if maxNorm <= 0 {
-		return
-	}
+// gradNorm returns the global L2 norm of the accumulated gradients.
+func gradNorm(params []Param) float64 {
 	var sq float64
 	for _, p := range params {
 		for _, g := range p.Grad.Data {
 			sq += g * g
 		}
 	}
-	norm := math.Sqrt(sq)
+	return math.Sqrt(sq)
+}
+
+// clipGradients rescales all gradients in place so their global L2 norm is
+// at most maxNorm (no-op when maxNorm <= 0 or the norm is already within).
+func clipGradients(params []Param, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	norm := gradNorm(params)
 	if norm <= maxNorm {
 		return
 	}

@@ -1,0 +1,23 @@
+// Package obs is the serving stack's runtime observability layer: a
+// dependency-free metrics registry with a deterministic Prometheus
+// text-0.0.4 encoder, structured (log/slog) logging helpers with
+// per-request trace IDs and pipeline spans, training telemetry sinks,
+// and an online ground-truth accuracy tracker that joins served
+// predictions against realized queue times when the live-state engine
+// observes start events.
+//
+// It is deliberately distinct from package metrics (internal/metrics),
+// which implements the paper's *offline model-evaluation* measures —
+// MAPE, Pearson correlation, R², confusion matrices — computed over a
+// held-out dataset after training. Package obs measures the *running
+// system*: request rates and latencies, per-stage predict timings,
+// fallback-tier hit counts, training-loss trajectories, and the rolling
+// accuracy of predictions against what the cluster actually did. If a
+// number describes a model on a test set, it belongs in
+// internal/metrics; if it describes a process serving traffic, it
+// belongs here.
+//
+// The package is self-contained (standard library only) so every other
+// layer — the service, the bundle, the trainers, the daemon — can
+// depend on it without cycles.
+package obs

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPOptions wires the Instrument middleware to its sinks. Every field
+// is optional: a nil logger disables access logging, nil metrics skip
+// their updates — trace-ID propagation always runs.
+type HTTPOptions struct {
+	// Logger receives one structured access-log record per request
+	// (msg "request": trace_id, method, path, status, duration and the
+	// request's pipeline spans).
+	Logger *slog.Logger
+	// Requests counts completed requests; labels {path, code}.
+	Requests *CounterVec
+	// Latency is the whole-request latency histogram (seconds).
+	Latency *Histogram
+	// StageLatency receives every pipeline span; label {stage}.
+	StageLatency *HistogramVec
+	// PathFor maps a request to its metric/log path label (clamping
+	// unknown paths bounds label cardinality). Nil uses the URL path.
+	PathFor func(*http.Request) string
+}
+
+// statusWriter captures the response status. Unwrap keeps
+// http.ResponseController working through the wrap.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Instrument is the observability middleware: it establishes the
+// request's trace ID (accepted from X-Request-ID when well-formed,
+// generated otherwise), echoes it on the response, attaches a span
+// recorder to the context, and on completion records request metrics,
+// per-stage latency, and a structured access-log line carrying the
+// trace ID and spans.
+func Instrument(next http.Handler, o HTTPOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := SanitizeTraceID(r.Header.Get(TraceIDHeader))
+		if id == "" {
+			id = NewTraceID()
+		}
+		w.Header().Set(TraceIDHeader, id)
+
+		sp := &Spans{}
+		ctx := WithSpans(WithTraceID(r.Context(), id), sp)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		path := r.URL.Path
+		if o.PathFor != nil {
+			path = o.PathFor(r)
+		}
+		if o.Requests != nil {
+			o.Requests.Inc(path, strconv.Itoa(code))
+		}
+		if o.Latency != nil {
+			o.Latency.Observe(elapsed.Seconds())
+		}
+		if o.StageLatency != nil {
+			for _, s := range sp.Snapshot() {
+				o.StageLatency.Observe(s.Seconds, s.Stage)
+			}
+		}
+		if o.Logger != nil {
+			o.Logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("trace_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", path),
+				slog.Int("status", code),
+				slog.Float64("duration_seconds", elapsed.Seconds()),
+				slog.Any("spans", sp),
+			)
+		}
+	})
+}

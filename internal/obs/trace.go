@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Canonical predict-pipeline stage names, used as the "stage" label on
+// the per-stage latency histogram and in span records. Keeping them
+// centralized bounds the label cardinality.
+const (
+	StageSnapshot  = "snapshot"  // queue-state resolution (engine or trace scan)
+	StageFeaturize = "featurize" // engineered 33-feature row construction
+	StageScale     = "scale"     // scaler transform
+	StageClassify  = "classify"  // classifier head forward pass
+	StageRegress   = "regress"   // regressor head forward pass
+	StageFallback  = "fallback"  // degraded tiers (GBDT, partition median)
+	StageBatchNN   = "batch_nn"  // whole-batch mini-batched NN pass
+)
+
+// TraceIDHeader is the request/response header carrying the trace ID.
+const TraceIDHeader = "X-Request-ID"
+
+// maxTraceIDLen bounds accepted client-supplied IDs so a hostile header
+// cannot bloat logs.
+const maxTraceIDLen = 64
+
+// NewTraceID returns a fresh 16-hex-char random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps
+		// requests flowing and is still greppable.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeTraceID vets a client-supplied trace ID: printable ASCII
+// without quotes or spaces, bounded length. Anything else is rejected
+// (empty return) and the caller should generate a fresh ID.
+func SanitizeTraceID(id string) string {
+	if id == "" || len(id) > maxTraceIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
+type ctxKey int
+
+const (
+	traceIDKey ctxKey = iota
+	spansKey
+)
+
+// WithTraceID stores a trace ID in the context.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceIDFrom returns the request's trace ID ("" outside an
+// instrumented request).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}
+
+// Span is one timed stage of a request's pipeline.
+type Span struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Spans collects the stage timings of one request. The zero value is
+// ready to use, and a nil *Spans is safe to record into (a no-op), so
+// pipeline code can time unconditionally. The mutex matters because the
+// deadline middleware runs handlers on a separate goroutine: a handler
+// racing its own 504 may still be appending while the access logger
+// reads.
+type Spans struct {
+	mu sync.Mutex
+	s  []Span
+}
+
+// Observe appends one stage timing. Safe on a nil receiver.
+func (sp *Spans) Observe(stage string, seconds float64) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.s = append(sp.s, Span{Stage: stage, Seconds: seconds})
+	sp.mu.Unlock()
+}
+
+// Time starts a stage timer; the returned func stops it and records the
+// span. Safe on a nil receiver.
+//
+//	defer sp.Time(obs.StageFeaturize)()
+func (sp *Spans) Time(stage string) func() {
+	if sp == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { sp.Observe(stage, time.Since(start).Seconds()) }
+}
+
+// Snapshot copies the recorded spans. Safe on a nil receiver.
+func (sp *Spans) Snapshot() []Span {
+	if sp == nil {
+		return nil
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return append([]Span(nil), sp.s...)
+}
+
+// LogValue renders the spans as a structured log attribute: one group
+// member per stage, seconds as the value.
+func (sp *Spans) LogValue() slog.Value {
+	spans := sp.Snapshot()
+	attrs := make([]slog.Attr, len(spans))
+	for i, s := range spans {
+		attrs[i] = slog.Float64(s.Stage, s.Seconds)
+	}
+	return slog.GroupValue(attrs...)
+}
+
+// WithSpans stores a span recorder in the context.
+func WithSpans(ctx context.Context, sp *Spans) context.Context {
+	return context.WithValue(ctx, spansKey, sp)
+}
+
+// SpansFrom returns the request's span recorder, or nil outside an
+// instrumented request (every recorder method is nil-safe).
+func SpansFrom(ctx context.Context) *Spans {
+	sp, _ := ctx.Value(spansKey).(*Spans)
+	return sp
+}

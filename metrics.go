@@ -1,140 +1,25 @@
 package trout
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
-// handleMetrics renders the service's counters in Prometheus text
-// exposition format 0.0.4. Metric naming follows the
-// prometheus-slurm-exporter convention (queue gauges labelled by
-// partition); output is deterministically ordered so scrapes diff
-// cleanly.
+// handleMetrics renders every family in the service's obs.Registry in
+// Prometheus text exposition format 0.0.4: prediction tier counters,
+// snapshot-source split, HTTP request counters and latency, per-stage
+// predict pipeline latency, livestate engine gauges (queue depth by
+// partition follows the prometheus-slurm-exporter convention), WAL
+// durability gauges, online accuracy, and training telemetry. Output is
+// deterministically ordered so scrapes diff cleanly.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	var b strings.Builder
-
-	// Prediction fallback tiers.
-	writeMetricHeader(&b, "trout_predictions_total", "counter",
-		"Predictions answered, by fallback tier.")
-	writeLabelledCounters(&b, "trout_predictions_total", "tier", s.tiers.Snapshot())
-
-	// Snapshot source split: indexed live engine vs legacy trace scan.
-	writeMetricHeader(&b, "trout_snapshot_source_total", "counter",
-		"Queue snapshots produced, by source (live engine vs trace scan).")
-	writeLabelledCounters(&b, "trout_snapshot_source_total", "source", s.sources.Snapshot())
-
-	// Batch prediction shape: jobs per POST /predict/batch request.
-	bs := s.batch.Snapshot()
-	writeMetricHeader(&b, "trout_predict_batch_size", "histogram",
-		"Jobs per POST /predict/batch request.")
-	for i, ub := range bs.Buckets {
-		fmt.Fprintf(&b, "trout_predict_batch_size_bucket{le=\"%g\"} %d\n", ub, bs.CumCounts[i])
-	}
-	fmt.Fprintf(&b, "trout_predict_batch_size_bucket{le=\"+Inf\"} %d\n", bs.Count)
-	fmt.Fprintf(&b, "trout_predict_batch_size_sum %g\n", bs.Sum)
-	fmt.Fprintf(&b, "trout_predict_batch_size_count %d\n", bs.Count)
-
-	// HTTP request counters and latency histogram.
-	hs := s.httpStats.Snapshot()
-	writeMetricHeader(&b, "trout_http_requests_total", "counter",
-		"HTTP requests completed, by path and status code.")
-	paths := make([]string, 0, len(hs.Requests))
-	for p := range hs.Requests {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		codes := make([]int, 0, len(hs.Requests[p]))
-		for c := range hs.Requests[p] {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(&b, "trout_http_requests_total{path=%q,code=\"%d\"} %d\n",
-				p, c, hs.Requests[p][c])
-		}
-	}
-	writeMetricHeader(&b, "trout_http_request_duration_seconds", "histogram",
-		"HTTP request latency.")
-	for i, ub := range hs.Buckets {
-		fmt.Fprintf(&b, "trout_http_request_duration_seconds_bucket{le=\"%g\"} %d\n",
-			ub, hs.CumCounts[i])
-	}
-	fmt.Fprintf(&b, "trout_http_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", hs.Count)
-	fmt.Fprintf(&b, "trout_http_request_duration_seconds_sum %g\n", hs.Sum)
-	fmt.Fprintf(&b, "trout_http_request_duration_seconds_count %d\n", hs.Count)
-
-	// Live-state engine gauges and event counters.
-	st := s.live.Engine().Stats()
-	writeMetricHeader(&b, "trout_livestate_events_total", "counter",
-		"Events applied to the live-state engine, by type.")
-	writeLabelledCounters(&b, "trout_livestate_events_total", "type", st.Events)
-	writeMetricHeader(&b, "trout_livestate_apply_errors_total", "counter",
-		"Events rejected by the live-state engine (duplicate, unknown job, stale order).")
-	fmt.Fprintf(&b, "trout_livestate_apply_errors_total %d\n", st.ApplyErrors)
-
-	writeMetricHeader(&b, "trout_queue_pending", "gauge",
-		"Pending jobs tracked by the live-state engine, by partition.")
-	parts := make([]string, 0, len(st.Partitions))
-	for p := range st.Partitions {
-		parts = append(parts, p)
-	}
-	sort.Strings(parts)
-	for _, p := range parts {
-		fmt.Fprintf(&b, "trout_queue_pending{partition=%q} %d\n", p, st.Partitions[p].Pending)
-	}
-	writeMetricHeader(&b, "trout_queue_running", "gauge",
-		"Running jobs tracked by the live-state engine, by partition.")
-	for _, p := range parts {
-		fmt.Fprintf(&b, "trout_queue_running{partition=%q} %d\n", p, st.Partitions[p].Running)
-	}
-	writeMetricHeader(&b, "trout_livestate_tracked_jobs", "gauge",
-		"Jobs held by the live-state engine (active + retained history).")
-	fmt.Fprintf(&b, "trout_livestate_tracked_jobs %d\n", st.Tracked)
-	writeMetricHeader(&b, "trout_livestate_history_entries", "gauge",
-		"Submission-history records inside the 24h rolling window.")
-	fmt.Fprintf(&b, "trout_livestate_history_entries %d\n", st.HistoryEntries)
-	writeMetricHeader(&b, "trout_livestate_now_seconds", "gauge",
-		"The engine's event clock (unix seconds of the newest applied event).")
-	fmt.Fprintf(&b, "trout_livestate_now_seconds %d\n", st.Now)
-
-	// Durability: WAL position vs last checkpoint.
-	m := s.live.Metrics()
-	writeMetricHeader(&b, "trout_wal_lag_records", "gauge",
-		"Applied events not yet covered by a checkpoint (LSN - checkpoint LSN).")
-	fmt.Fprintf(&b, "trout_wal_lag_records %d\n", m.LSN-m.CheckpointLSN)
-	writeMetricHeader(&b, "trout_wal_bytes", "gauge",
-		"Current write-ahead log size in bytes (0 for memory-only stores).")
-	fmt.Fprintf(&b, "trout_wal_bytes %d\n", m.WALBytes)
-	writeMetricHeader(&b, "trout_checkpoints_total", "counter",
-		"Checkpoints taken since the store opened.")
-	fmt.Fprintf(&b, "trout_checkpoints_total %d\n", m.Checkpoints)
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", obs.ContentType)
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
-}
-
-func writeMetricHeader(b *strings.Builder, name, kind, help string) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
-}
-
-// writeLabelledCounters emits one sample per key, sorted for determinism.
-func writeLabelledCounters(b *strings.Builder, name, label string, vals map[string]uint64) {
-	keys := make([]string, 0, len(vals))
-	for k := range vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(b, "%s{%s=%q} %d\n", name, label, k, vals[k])
-	}
+	_ = s.reg.WriteText(w)
 }

@@ -4,13 +4,17 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/livestate"
+	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/trace"
 )
@@ -37,7 +41,11 @@ type ServiceConfig struct {
 	// the fast snapshot path. Nil gets a fresh memory-only store, so the
 	// engine always runs; pass a WAL-backed store for durability.
 	Live *livestate.Store
+	// Logger is the structured logger for access logs, middleware
+	// diagnostics, and training telemetry. Nil disables logging.
+	Logger *slog.Logger
 	// Logf, when set, receives middleware diagnostics (recovered panics).
+	// Nil with a Logger set derives a printf adapter from the Logger.
 	Logf func(format string, args ...any)
 }
 
@@ -81,14 +89,23 @@ func (c *ServiceConfig) defaults() {
 // instants or jobs the engine does not track. State updates, event
 // ingestion, and predictions are safe for concurrent use.
 type Service struct {
-	bundle    *Bundle
-	cfg       ServiceConfig
-	tiers     *resilience.Counters
-	sources   *resilience.Counters
-	httpStats *resilience.HTTPStats
-	batch     *resilience.SizeHist
-	live      *livestate.Store
-	ready     atomic.Bool
+	bundle *Bundle
+	cfg    ServiceConfig
+	logger *slog.Logger
+	live   *livestate.Store
+	ready  atomic.Bool
+
+	// Runtime telemetry: every family lives in one obs.Registry and is
+	// rendered by GET /metrics.
+	reg          *obs.Registry
+	tiers        *obs.CounterVec   // trout_predictions_total{tier}
+	sources      *obs.CounterVec   // trout_snapshot_source_total{source}
+	batchSize    *obs.Histogram    // trout_predict_batch_size
+	httpReqs     *obs.CounterVec   // trout_http_requests_total{path,code}
+	httpLatency  *obs.Histogram    // trout_http_request_duration_seconds
+	stageLatency *obs.HistogramVec // trout_predict_stage_duration_seconds{stage}
+	tracker      *obs.AccuracyTracker
+	telemetry    *obs.TrainTelemetry
 
 	mu    sync.RWMutex
 	state *Trace
@@ -118,16 +135,17 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		}
 		cfg.Live = st
 	}
-	s := &Service{
-		bundle:    b,
-		cfg:       cfg,
-		tiers:     resilience.NewCounters(),
-		sources:   resilience.NewCounters(),
-		httpStats: resilience.NewHTTPStats(),
-		batch:     resilience.NewSizeHist([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
-		live:      cfg.Live,
-		state:     initial,
+	if cfg.Logf == nil && cfg.Logger != nil {
+		cfg.Logf = obs.Logf(cfg.Logger)
 	}
+	s := &Service{
+		bundle: b,
+		cfg:    cfg,
+		logger: cfg.Logger,
+		live:   cfg.Live,
+		state:  initial,
+	}
+	s.initTelemetry()
 	if len(initial.Jobs) > 0 && s.live.Engine().Stats().Tracked == 0 {
 		if _, err := s.live.Seed(initial); err != nil {
 			return nil, fmt.Errorf("trout: seeding live state: %w", err)
@@ -135,6 +153,115 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 	}
 	s.ready.Store(true)
 	return s, nil
+}
+
+// initTelemetry builds the service's metric registry: the hot-path
+// families the handlers update directly, scrape-time collectors over the
+// livestate engine and WAL, the online accuracy tracker (joined against
+// engine start events), and the training telemetry families.
+func (s *Service) initTelemetry() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.tiers = r.CounterVec("trout_predictions_total",
+		"Predictions answered, by fallback tier.", "tier")
+	s.sources = r.CounterVec("trout_snapshot_source_total",
+		"Queue snapshots produced, by source (live engine vs trace scan).", "source")
+	s.batchSize = r.Histogram("trout_predict_batch_size",
+		"Jobs per POST /predict/batch request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	s.httpReqs = r.CounterVec("trout_http_requests_total",
+		"HTTP requests completed, by path and status code.", "path", "code")
+	s.httpLatency = r.Histogram("trout_http_request_duration_seconds",
+		"HTTP request latency.", obs.DefaultLatencyBuckets)
+	s.stageLatency = r.HistogramVec("trout_predict_stage_duration_seconds",
+		"Prediction pipeline stage latency (snapshot, featurize, scale, classify, regress, fallback, batch_nn).",
+		obs.DefaultStageBuckets, "stage")
+
+	// Live-state engine and WAL families are sampled at scrape time — the
+	// engine already keeps these counts; mirroring them per event would
+	// double the ingest path's bookkeeping.
+	eng := s.live.Engine()
+	r.CounterVecFunc("trout_livestate_events_total",
+		"Events applied to the live-state engine, by type.", []string{"type"},
+		func(emit obs.Emit) {
+			for ty, n := range eng.Stats().Events {
+				emit(float64(n), ty)
+			}
+		})
+	r.CounterFunc("trout_livestate_apply_errors_total",
+		"Events rejected by the live-state engine (duplicate, unknown job, stale order).",
+		func() float64 { return float64(eng.Stats().ApplyErrors) })
+	r.GaugeVecFunc("trout_queue_pending",
+		"Pending jobs tracked by the live-state engine, by partition.", []string{"partition"},
+		func(emit obs.Emit) {
+			for p, pc := range eng.Stats().Partitions {
+				emit(float64(pc.Pending), p)
+			}
+		})
+	r.GaugeVecFunc("trout_queue_running",
+		"Running jobs tracked by the live-state engine, by partition.", []string{"partition"},
+		func(emit obs.Emit) {
+			for p, pc := range eng.Stats().Partitions {
+				emit(float64(pc.Running), p)
+			}
+		})
+	r.GaugeFunc("trout_livestate_tracked_jobs",
+		"Jobs held by the live-state engine (active + retained history).",
+		func() float64 { return float64(eng.Stats().Tracked) })
+	r.GaugeFunc("trout_livestate_history_entries",
+		"Submission-history records inside the 24h rolling window.",
+		func() float64 { return float64(eng.Stats().HistoryEntries) })
+	r.GaugeFunc("trout_livestate_now_seconds",
+		"The engine's event clock (unix seconds of the newest applied event).",
+		func() float64 { return float64(eng.Stats().Now) })
+	r.GaugeFunc("trout_wal_lag_records",
+		"Applied events not yet covered by a checkpoint (LSN - checkpoint LSN).",
+		func() float64 { m := s.live.Metrics(); return float64(m.LSN - m.CheckpointLSN) })
+	r.GaugeFunc("trout_wal_bytes",
+		"Current write-ahead log size in bytes (0 for memory-only stores).",
+		func() float64 { return float64(s.live.Metrics().WALBytes) })
+	r.CounterFunc("trout_checkpoints_total",
+		"Checkpoints taken since the store opened.",
+		func() float64 { return float64(s.live.Metrics().Checkpoints) })
+
+	// Online accuracy: served predictions are remembered by job ID and
+	// joined against realized queue times when the engine sees the job
+	// start — the production counterpart of the paper's offline metrics.
+	s.tracker = obs.NewAccuracyTracker(s.bundle.cutoffMinutes(), 0, 0)
+	s.tracker.Register(r)
+	eng.SetStartObserver(func(jobID int, eligible, start int64) {
+		s.tracker.Resolve(jobID, eligible, start)
+	})
+
+	s.telemetry = obs.NewTrainTelemetry(r, s.logger)
+}
+
+// Registry exposes the service's metric registry (for the daemon to add
+// process-level families).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Telemetry exposes the training telemetry sink.
+func (s *Service) Telemetry() *obs.TrainTelemetry { return s.telemetry }
+
+// Tracker exposes the online accuracy tracker.
+func (s *Service) Tracker() *obs.AccuracyTracker { return s.tracker }
+
+// TrainHooks returns core training hooks wired to the service's telemetry:
+// refits observed through them surface on /metrics and in the structured
+// log. A NaN validation loss (no holdout) is exported as 0.
+func (s *Service) TrainHooks() core.TrainHooks {
+	return core.TrainHooks{
+		OnEpoch: func(head string, st nn.EpochStats) {
+			val := st.ValLoss
+			if val != val { // NaN: no validation holdout
+				val = 0
+			}
+			s.telemetry.ObserveEpoch(head, st.Epoch, st.TrainLoss, val, st.GradNorm, st.LR)
+		},
+		OnRollback: func(head string, epoch, events int, lr float64) {
+			s.telemetry.ObserveRollback(head, epoch, events, lr)
+		},
+	}
 }
 
 // LiveStore exposes the event-sourced state store (for the daemon's
@@ -148,6 +275,17 @@ func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
 // FallbackCounters exposes a snapshot of the per-tier prediction counters.
 func (s *Service) FallbackCounters() map[string]uint64 { return s.tiers.Snapshot() }
 
+// tiersDegraded reports whether any tier other than primary has answered
+// at least once — the /health degradation flag.
+func tiersDegraded(snap map[string]uint64, primary string) bool {
+	for k, v := range snap {
+		if k != primary && v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // metricRoutes are the path labels exported on /metrics; anything else is
 // clamped to "other" to bound label cardinality.
 var metricRoutes = map[string]bool{
@@ -155,9 +293,9 @@ var metricRoutes = map[string]bool{
 	"/state": true, "/events": true, "/features": true, "/metrics": true,
 }
 
-// Handler returns the service's HTTP routes wrapped in the resilience
-// middleware stack (outermost first): request metrics, panic recovery,
-// per-request deadline, body limit.
+// Handler returns the service's HTTP routes wrapped in the middleware
+// stack (outermost first): observability (trace ID, spans, request
+// metrics, access log), panic recovery, per-request deadline, body limit.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
@@ -172,11 +310,17 @@ func (s *Service) Handler() http.Handler {
 	h = resilience.MaxBytes(h, s.cfg.MaxBodyBytes)
 	h = resilience.Timeout(h, s.cfg.RequestTimeout, s.cfg.Logf)
 	h = resilience.Recover(h, s.cfg.Logf)
-	h = resilience.ObserveHTTP(h, s.httpStats, func(r *http.Request) string {
-		if metricRoutes[r.URL.Path] {
-			return r.URL.Path
-		}
-		return "other"
+	h = obs.Instrument(h, obs.HTTPOptions{
+		Logger:       s.logger,
+		Requests:     s.httpReqs,
+		Latency:      s.httpLatency,
+		StageLatency: s.stageLatency,
+		PathFor: func(r *http.Request) string {
+			if metricRoutes[r.URL.Path] {
+				return r.URL.Path
+			}
+			return "other"
+		},
 	})
 	return h
 }
@@ -211,14 +355,15 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	n := len(s.state.Jobs)
 	s.mu.RUnlock()
 	st := s.live.Engine().Stats()
+	tiers := s.tiers.Snapshot()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		CutoffMinutes: s.bundle.Model.Cfg.CutoffMinutes,
 		NumFeatures:   s.bundle.Model.NumInputs,
 		QueueJobs:     n,
 		Partitions:    len(s.bundle.Cluster.Partitions),
-		FallbackTiers: s.tiers.Snapshot(),
-		Degraded:      s.tiers.Degraded(resilience.TierNN),
+		FallbackTiers: tiers,
+		Degraded:      tiersDegraded(tiers, resilience.TierNN),
 		Live: liveHealth{
 			Now: st.Now, Pending: st.Pending, Running: st.Running,
 			Tracked: st.Tracked, Sources: s.sources.Snapshot(),
@@ -339,6 +484,7 @@ func (s *Service) snapshotBatch(at int64, jobs []trace.Job) ([]*Snapshot, string
 }
 
 func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpansFrom(r.Context())
 	var snap *Snapshot
 	var source string
 	switch r.Method {
@@ -348,7 +494,9 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 			resilience.WriteError(w, http.StatusBadRequest, fmt.Sprintf("predict: %v", err))
 			return
 		}
+		done := sp.Time(obs.StageSnapshot)
 		sn, src, err := s.snapshotForJob(jobID)
+		done()
 		if err != nil {
 			resilience.WriteError(w, http.StatusNotFound, err.Error())
 			return
@@ -380,20 +528,25 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if req.Job.Submit == 0 {
 			req.Job.Submit = req.At
 		}
+		done := sp.Time(obs.StageSnapshot)
 		snap, source = s.snapshotAt(req.At, req.Job)
+		done()
 	default:
 		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
 	s.sources.Inc(source)
 
-	pred, err := s.bundle.PredictWithFallback(snap)
+	pred, err := s.bundle.PredictWithFallbackSpans(snap, sp)
 	if err != nil {
 		s.tiers.Inc(resilience.TierError)
 		resilience.WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.tiers.Inc(pred.Tier)
+	// Remember the served answer so the online accuracy tracker can join
+	// it against the job's realized start event.
+	s.tracker.Record(snap.Target.ID, pred.Prob, pred.Minutes, pred.Long)
 	writeJSON(w, http.StatusOK, predictResponse{
 		Long: pred.Long, Prob: pred.Prob, Minutes: pred.Minutes,
 		Message: pred.Message(s.bundle.Model.Cfg.CutoffMinutes),
@@ -477,13 +630,16 @@ func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	sp := obs.SpansFrom(r.Context())
+	done := sp.Time(obs.StageSnapshot)
 	snaps, source := s.snapshotBatch(req.At, req.Jobs)
-	s.batch.Observe(float64(len(req.Jobs)))
+	done()
+	s.batchSize.Observe(float64(len(req.Jobs)))
 	for range req.Jobs {
 		s.sources.Inc(source)
 	}
 
-	results := s.bundle.PredictBatchWithFallback(snaps)
+	results := s.bundle.PredictBatchWithFallbackSpans(snaps, sp)
 	resp := predictBatchResponse{
 		At: req.At, Source: source,
 		Results: make([]batchItem, len(results)),
@@ -499,6 +655,7 @@ func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.tiers.Inc(res.Tier)
+		s.tracker.Record(req.Jobs[i].ID, res.Prob, res.Minutes, res.Long)
 		resp.Results[i] = batchItem{
 			Long: res.Long, Prob: res.Prob, Minutes: res.Minutes,
 			Message: res.Message(s.bundle.Model.Cfg.CutoffMinutes),
