@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke bench bench-json bench-smoke bench-check ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke bench bench-json bench-smoke bench-check ci clean
 
 all: build
 
@@ -30,14 +30,23 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Short fuzz of the event decoder (corpus seeds + 5s of mutation).
+# Short fuzz of the event decoder and the WAL segment reader (corpus
+# seeds + 5s of mutation each; Go allows one -fuzz target per run).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/livestate
+	$(GO) test -run '^$$' -fuzz FuzzReadSegment -fuzztime 5s ./internal/livestate
 
 # Line-by-line lint of the /metrics Prometheus exposition (HELP/TYPE
 # pairing, label escaping, cumulative buckets, deterministic ordering).
 metrics-smoke:
 	$(GO) test -run TestMetricsExposition .
+
+# Replication fault-injection suite under the race detector: leader
+# kill -9/restart mid-stream, torn WAL tails, segment truncation, flaky
+# and slow networks — followers must converge bit-identically and no
+# acked event may be lost.
+replication-smoke:
+	$(GO) test -race -count=1 ./internal/replication/...
 
 # Legacy O(N) snapshot scan vs the livestate engine's indexed extraction,
 # in benchstat-friendly form:
@@ -78,7 +87,7 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_train.json bench_check.txt
 	rm -f bench_check.txt
 
-ci: fmt-check vet build race fuzz-smoke metrics-smoke bench-smoke bench-check
+ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke bench-smoke bench-check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,116 @@
+// Command loadgen drives a running troutd with a mixed workload and prints
+// a latency/error scorecard — the traffic source for capacity checks and
+// the fault-injection suite.
+//
+//	loadgen -url http://localhost:8642 -duration 30s -concurrency 8
+//	loadgen -url http://localhost:8642 -requests 5000 -rate 200 -mix 60,30,10
+//	loadgen -url http://localhost:8642 -duration 10s -strict -json
+//
+// Closed loop by default (each worker waits for its response before the
+// next request); -rate switches to open loop, pacing arrivals globally at
+// the target rate so an overloaded server accumulates queueing and sheds
+// (visible as 429s and dropped arrivals) instead of silently slowing the
+// generator down.
+//
+// -strict applies the fault-window response contract: every response must
+// be a valid prediction/ingest ack, a structured JSON error, or a 429
+// carrying Retry-After. Invalid responses fail the run (exit 1).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://localhost:8642", "base URL of the target troutd")
+		duration    = flag.Duration("duration", 10*time.Second, "run length (ignored if -requests > 0 finishes first)")
+		requests    = flag.Int("requests", 0, "stop after this many requests (0 = duration only)")
+		concurrency = flag.Int("concurrency", 4, "concurrent workers")
+		rate        = flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+		mix         = flag.String("mix", "70,20,10", "predict,batch,events weights")
+		batchSize   = flag.Int("batch", 8, "jobs per /predict/batch request")
+		at          = flag.Int64("at", 0, "prediction instant (unix seconds; 0 = now)")
+		seed        = flag.Int64("seed", 1, "randomness seed")
+		strict      = flag.Bool("strict", false, "enforce the fault-window response contract; invalid responses fail the run")
+		maxErrRate  = flag.Float64("max-error-rate", -1, "fail the run if the hard-error rate exceeds this (-1 = report only)")
+		jsonOut     = flag.Bool("json", false, "emit the scorecard as JSON")
+	)
+	flag.Parse()
+
+	weights := strings.Split(*mix, ",")
+	if len(weights) != 3 {
+		fmt.Fprintln(os.Stderr, "loadgen: -mix wants three comma-separated weights")
+		os.Exit(2)
+	}
+	var w [3]int
+	for i, s := range weights {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -mix weight %q\n", s)
+			os.Exit(2)
+		}
+		w[i] = n
+	}
+	if w[0]+w[1]+w[2] == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -mix weights sum to zero")
+		os.Exit(2)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:       strings.TrimRight(*url, "/"),
+		Duration:      *duration,
+		Requests:      *requests,
+		Concurrency:   *concurrency,
+		RatePerSec:    *rate,
+		PredictWeight: w[0], BatchWeight: w[1], EventsWeight: w[2],
+		BatchSize: *batchSize,
+		At:        *at,
+		Seed:      *seed,
+	}
+	if cfg.At == 0 {
+		cfg.At = time.Now().Unix()
+	}
+	if *strict {
+		cfg.Validate = loadgen.StrictValidate
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sc, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sc); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(sc.String())
+	}
+
+	if *strict && sc.Invalid > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d invalid responses under -strict\n", sc.Invalid)
+		os.Exit(1)
+	}
+	if *maxErrRate >= 0 && sc.ErrorRate > *maxErrRate {
+		fmt.Fprintf(os.Stderr, "loadgen: error rate %.4f exceeds -max-error-rate %.4f\n", sc.ErrorRate, *maxErrRate)
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,14 @@
 // run every -checkpoint-interval, and a restart recovers checkpoint + WAL
 // tail, so mid-stream crashes lose nothing that reached disk.
 //
+// Read-scale replication: a -wal-dir leader serves its log on
+// /replication/wal, and `troutd -follow http://leader:8642` runs a
+// follower that replays it into its own engine, answers /predict from the
+// replica, and forwards /events and /state to the leader (307 by default,
+// transparent with -proxy-writes). A follower reports 503 on /ready until
+// first catch-up and whenever lag crosses -replication-lag-events; leader
+// ingest sheds bursts with 429 + Retry-After past the -admit-* bounds.
+//
 // All daemon output is structured (log/slog): -log-format selects json
 // (default, machine-shippable) or text, -log-level sets the threshold.
 // Every request carries a trace ID (accepted via X-Request-ID or
@@ -56,6 +64,8 @@ import (
 	trout "repro"
 	"repro/internal/livestate"
 	"repro/internal/obs"
+	"repro/internal/replication"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -72,8 +82,18 @@ func main() {
 		maxBatch       = flag.Int("max-batch", 256, "maximum jobs per /predict/batch request (-1 = unlimited)")
 		shutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window after SIGINT/SIGTERM")
 
-		walDir    = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
-		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
+		walDir     = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
+		ckptEvery  = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
+		segBytes   = flag.Int64("segment-bytes", 4<<20, "seal the WAL into a sealed segment past this size; followers catch up from sealed segments (-1 = rotate only on checkpoint)")
+		retainSegs = flag.Int("retain-segments", 4, "sealed WAL segments kept for follower catch-up (-1 = keep all)")
+
+		follow      = flag.String("follow", "", "follower mode: replicate live state from this leader troutd URL (e.g. http://leader:8642); /events and /state are forwarded to it")
+		proxyWrites = flag.Bool("proxy-writes", false, "follower: transparently proxy write requests to the leader instead of 307-redirecting")
+		replLag     = flag.Uint64("replication-lag-events", 4096, "follower: /ready turns 503 and /health degraded past this many events of lag")
+
+		admitInflight = flag.Int("admit-inflight", 16, "concurrent ingest requests admitted on /events and /state (-1 disables admission control)")
+		admitQueue    = flag.Int("admit-queue", 64, "ingest requests allowed to queue for an admission slot; beyond it requests shed with 429")
+		admitTimeout  = flag.Duration("admit-queue-timeout", time.Second, "queued ingest requests shed with 429 after waiting this long")
 
 		logLevel  = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
 		logFormat = flag.String("log-format", "json", "log encoding: json|text")
@@ -100,7 +120,10 @@ func main() {
 	if err != nil {
 		fatal("load state", err)
 	}
-	store, err := livestate.OpenStore(livestate.StoreOptions{Dir: *walDir, Logf: obs.Logf(logger)})
+	store, err := livestate.OpenStore(livestate.StoreOptions{
+		Dir: *walDir, Logf: obs.Logf(logger),
+		SegmentBytes: *segBytes, RetainSegments: *retainSegs,
+	})
 	if err != nil {
 		fatal("open live-state store", err)
 	}
@@ -120,6 +143,12 @@ func main() {
 		MaxBatchJobs:    *maxBatch,
 		Live:            store,
 		Logger:          logger,
+		LeaderURL:       *follow,
+		ProxyWrites:     *proxyWrites,
+		Replication:     replication.FollowerConfig{LagEvents: *replLag},
+		Admission: resilience.AdmissionConfig{
+			MaxInFlight: *admitInflight, MaxQueue: *admitQueue, QueueTimeout: *admitTimeout,
+		},
 	})
 	if err != nil {
 		fatal("build service", err)
@@ -135,6 +164,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Follower mode: pull the leader's WAL until shutdown. /ready stays
+	// 503 until the replica first catches up.
+	svc.StartReplication(ctx)
+	if *follow != "" {
+		logger.Info("following leader", slog.String("leader", *follow),
+			slog.Bool("proxy_writes", *proxyWrites), slog.Uint64("lag_threshold", *replLag))
+	}
 
 	// Profiling stays off the service listener: the pprof handlers are
 	// registered only on their own mux bound to -pprof, so the production

@@ -1,0 +1,89 @@
+package livestate
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Fingerprint hashes the engine's replicated state deterministically: the
+// tracked job records (sorted by ID), their phases, the submission ring in
+// order, the event clock, and the apply counters. Two engines with equal
+// fingerprints produce identical snapshots — and therefore identical
+// 33-feature vectors — for any probe job, which is how the fault-injection
+// harness proves a follower converged to the leader bit for bit.
+func (e *Engine) Fingerprint() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	ws := func(s string) {
+		wi(int64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	wi(e.now)
+	wu(e.errs)
+
+	ids := make([]int, 0, len(e.jobs))
+	for id := range e.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	wi(int64(len(ids)))
+	for _, id := range ids {
+		js := e.jobs[id]
+		j := &js.job
+		wi(int64(j.ID))
+		wi(int64(j.User))
+		ws(j.Partition)
+		ws(string(j.State))
+		wi(j.Submit)
+		wi(j.Eligible)
+		wi(j.Start)
+		wi(j.End)
+		wi(int64(j.ReqCPUs))
+		wf(j.ReqMemGB)
+		wi(int64(j.ReqNodes))
+		wi(int64(j.ReqGPUs))
+		wi(j.TimeLimit)
+		wi(int64(j.Priority))
+		wi(int64(j.QOS))
+		if j.Interactive {
+			wi(1)
+		} else {
+			wi(0)
+		}
+		wi(int64(j.DependsOn))
+		wu(uint64(js.phase))
+	}
+
+	live := e.ring[e.head:]
+	wi(int64(len(live)))
+	for _, hent := range live {
+		wi(int64(hent.id))
+		wi(int64(hent.user))
+		wi(hent.submit)
+	}
+
+	types := make([]string, 0, len(e.counts))
+	for ty := range e.counts {
+		types = append(types, string(ty))
+	}
+	sort.Strings(types)
+	for _, ty := range types {
+		ws(ty)
+		wu(e.counts[EventType(ty)])
+	}
+	return h.Sum64()
+}

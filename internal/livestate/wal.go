@@ -30,9 +30,12 @@ type walRecord struct {
 	Event Event  `json:"event"`
 }
 
-// checkpointDTO is the gob checkpoint: full engine state as of LSN.
+// checkpointDTO is the gob checkpoint: full engine state as of LSN. Gen is
+// the state generation (bumped by Seed/RestoreSnapshot); old checkpoints
+// without the field decode as 0, which is still a valid generation.
 type checkpointDTO struct {
 	LSN   uint64
+	Gen   uint64
 	State dto
 }
 
@@ -44,6 +47,15 @@ type StoreOptions struct {
 	// SyncEvery fsyncs the WAL every N appends (checkpoint and Close always
 	// sync). 0 means 64; negative syncs every append.
 	SyncEvery int
+	// SegmentBytes rotates the active WAL into a sealed, immutable segment
+	// once it grows past this size; sealed segments are what replication
+	// streams to followers. 0 means 4 MiB; negative disables size-based
+	// rotation (checkpoints still seal the active WAL).
+	SegmentBytes int64
+	// RetainSegments keeps up to this many sealed segments whose records a
+	// checkpoint already covers, so followers can catch up over HTTP
+	// instead of re-snapshotting. 0 means 4; negative keeps all.
+	RetainSegments int
 	// Logf, when set, receives recovery diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -69,12 +81,23 @@ type StoreMetrics struct {
 	// CheckpointLSN is the LSN covered by the newest checkpoint; the
 	// difference to LSN is the WAL lag (records lost if the WAL vanished).
 	CheckpointLSN uint64
-	// WALBytes is the current WAL file size.
+	// WALBytes is the current active WAL file size.
 	WALBytes int64
 	// Checkpoints counts checkpoints taken since open.
 	Checkpoints uint64
 	// Persistent is false for memory-only stores.
 	Persistent bool
+	// DurableLSN is the newest fsynced LSN — the replication horizon.
+	DurableLSN uint64
+	// Gen is the state generation (bumped by Seed/RestoreSnapshot).
+	Gen uint64
+	// Segments counts sealed WAL segments retained on disk.
+	Segments int
+	// SegmentBytes is the total size of the sealed segments.
+	SegmentBytes int64
+	// OldestLSN is the first LSN still readable from disk; followers
+	// behind it must re-snapshot.
+	OldestLSN uint64
 }
 
 // Store couples an Engine with a write-ahead log and periodic gob
@@ -94,6 +117,17 @@ type Store struct {
 	checkpoints uint64
 	recovered   RecoverReport
 	closed      bool
+
+	// Replication state: gen counts wholesale engine replacements,
+	// durableLSN/syncedBytes bound what ReadWAL may serve, activeFirst is
+	// the first LSN in the active WAL file, segs indexes sealed segments,
+	// and updated wakes long-poll waiters when durable records arrive.
+	gen         uint64
+	durableLSN  uint64
+	syncedBytes int64
+	activeFirst uint64
+	segs        []segInfo
+	updated     chan struct{}
 }
 
 // OpenStore opens (or creates) a store, recovering engine state from the
@@ -102,7 +136,13 @@ func OpenStore(opt StoreOptions) (*Store, error) {
 	if opt.SyncEvery == 0 {
 		opt.SyncEvery = 64
 	}
-	s := &Store{opt: opt, eng: NewEngine()}
+	if opt.SegmentBytes == 0 {
+		opt.SegmentBytes = 4 << 20
+	}
+	if opt.RetainSegments == 0 {
+		opt.RetainSegments = 4
+	}
+	s := &Store{opt: opt, eng: NewEngine(), updated: make(chan struct{})}
 	if opt.Dir == "" {
 		return s, nil
 	}
@@ -128,6 +168,9 @@ func OpenStore(opt StoreOptions) (*Store, error) {
 	}
 	s.wal = f
 	s.walW = bufio.NewWriter(f)
+	// Everything recovered is on disk already, so it is all durable.
+	s.durableLSN = s.lsn
+	s.syncedBytes = s.walBytes
 	return s, nil
 }
 
@@ -140,7 +183,8 @@ func (s *Store) logf(format string, args ...any) {
 	}
 }
 
-// recover loads the checkpoint (if any) and replays the WAL tail.
+// recover loads the checkpoint (if any), replays the sealed segments in
+// LSN order, then replays the active WAL tail.
 func (s *Store) recover() error {
 	if f, err := os.Open(s.checkpointPath()); err == nil {
 		var ck checkpointDTO
@@ -155,13 +199,55 @@ func (s *Store) recover() error {
 		s.eng.restoreDTO(ck.State)
 		s.lsn = ck.LSN
 		s.ckptLSN = ck.LSN
+		s.gen = ck.Gen
 		s.recovered.CheckpointLSN = ck.LSN
 	} else if !os.IsNotExist(err) {
 		return err
 	}
 
+	// Sealed segments were fsynced before sealing, so corruption inside
+	// one is external damage; replaying past it would leave a silent hole
+	// in the engine state, so refuse to start instead.
+	segs, err := listSegments(s.opt.Dir)
+	if err != nil {
+		return err
+	}
+	for i := range segs {
+		f, err := os.Open(segs[i].path)
+		if err != nil {
+			return err
+		}
+		br := bufio.NewReader(f)
+		var first, last uint64
+		for {
+			rec, _, rerr := readWALRecord(br)
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				return fmt.Errorf("livestate: corrupt sealed segment %s: %w", segs[i].path, rerr)
+			}
+			if first == 0 {
+				first = rec.LSN
+			}
+			last = rec.LSN
+			s.replayRecord(rec)
+		}
+		f.Close()
+		if first == 0 {
+			// An empty sealed segment cannot happen through rotation;
+			// drop the stray file rather than indexing it.
+			os.Remove(segs[i].path)
+			continue
+		}
+		segs[i].first, segs[i].last = first, last
+		s.segs = append(s.segs, segs[i])
+	}
+
 	f, err := os.Open(s.walPath())
 	if os.IsNotExist(err) {
+		s.activeFirst = s.lsn + 1
 		return nil
 	}
 	if err != nil {
@@ -181,20 +267,32 @@ func (s *Store) recover() error {
 			break
 		}
 		good += n
-		if rec.LSN <= s.ckptLSN {
-			s.recovered.SkippedLSN++
-			continue
+		if s.activeFirst == 0 {
+			s.activeFirst = rec.LSN
 		}
-		if err := s.eng.ApplyEvent(rec.Event); err != nil {
-			s.recovered.ApplyErrors++
-		}
-		s.recovered.Replayed++
-		if rec.LSN > s.lsn {
-			s.lsn = rec.LSN
-		}
+		s.replayRecord(rec)
 	}
 	s.walBytes = good
+	if s.activeFirst == 0 {
+		s.activeFirst = s.lsn + 1
+	}
 	return nil
+}
+
+// replayRecord folds one recovered WAL record into the engine, honoring
+// the checkpoint's LSN coverage.
+func (s *Store) replayRecord(rec walRecord) {
+	if rec.LSN <= s.ckptLSN {
+		s.recovered.SkippedLSN++
+		return
+	}
+	if err := s.eng.ApplyEvent(rec.Event); err != nil {
+		s.recovered.ApplyErrors++
+	}
+	s.recovered.Replayed++
+	if rec.LSN > s.lsn {
+		s.lsn = rec.LSN
+	}
 }
 
 func walSize(f *os.File) int64 {
@@ -226,21 +324,7 @@ func (s *Store) Apply(ev Event) error {
 	if s.closed {
 		return fmt.Errorf("livestate: store is closed")
 	}
-	s.lsn++
-	if s.walW != nil {
-		n, err := writeWALRecord(s.walW, walRecord{LSN: s.lsn, Event: ev})
-		if err != nil {
-			return fmt.Errorf("livestate: wal append: %w", err)
-		}
-		s.walBytes += n
-		s.unsynced++
-		if s.opt.SyncEvery < 0 || s.unsynced >= s.opt.SyncEvery {
-			if err := s.sync(); err != nil {
-				return fmt.Errorf("livestate: wal sync: %w", err)
-			}
-		}
-	}
-	return s.eng.ApplyEvent(ev)
+	return s.applyLocked(s.lsn+1, ev)
 }
 
 // Sync flushes buffered WAL records and fsyncs, making every event applied
@@ -256,7 +340,8 @@ func (s *Store) Sync() error {
 	return s.sync()
 }
 
-// sync flushes and fsyncs the WAL. Caller holds s.mu.
+// sync flushes and fsyncs the WAL, advancing the durable LSN replication
+// is allowed to serve. Caller holds s.mu.
 func (s *Store) sync() error {
 	if s.walW == nil {
 		return nil
@@ -268,12 +353,18 @@ func (s *Store) sync() error {
 		return err
 	}
 	s.unsynced = 0
+	s.bumpDurableLocked()
 	return nil
 }
 
 // Seed bulk-loads a trace into the engine and immediately checkpoints, so
-// the load survives a restart without being event-logged row by row.
+// the load survives a restart without being event-logged row by row. The
+// state generation bumps: the engine was replaced outside the WAL stream,
+// so followers replaying records must re-snapshot.
 func (s *Store) Seed(tr *trace.Trace) (SeedReport, error) {
+	s.mu.Lock()
+	s.gen++
+	s.mu.Unlock()
 	rep := s.eng.SeedFromTrace(tr)
 	if err := s.Checkpoint(); err != nil {
 		return rep, err
@@ -282,9 +373,12 @@ func (s *Store) Seed(tr *trace.Trace) (SeedReport, error) {
 }
 
 // Checkpoint writes the engine state to disk (tmp + rename, fsynced) and
-// resets the WAL: records at or below the checkpoint LSN are subsumed. A
-// crash between the rename and the truncate is safe — replay skips
-// subsumed records by LSN. No-op for memory-only stores.
+// seals the active WAL into a sealed segment: records at or below the
+// checkpoint LSN are subsumed for recovery, but sealed segments are
+// retained (up to RetainSegments) so followers can still catch up over
+// the WAL instead of re-snapshotting. A crash between the rename and the
+// seal is safe — replay skips subsumed records by LSN. No-op for
+// memory-only stores.
 func (s *Store) Checkpoint() error {
 	if s.opt.Dir == "" {
 		return nil
@@ -297,7 +391,22 @@ func (s *Store) Checkpoint() error {
 	if err := s.sync(); err != nil {
 		return err
 	}
-	ck := checkpointDTO{LSN: s.lsn, State: s.eng.snapshotDTO()}
+	ck := checkpointDTO{LSN: s.lsn, Gen: s.gen, State: s.eng.snapshotDTO()}
+	if err := s.writeCheckpointLocked(ck); err != nil {
+		return err
+	}
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	s.ckptLSN = ck.LSN
+	s.checkpoints++
+	s.pruneSegmentsLocked()
+	return nil
+}
+
+// writeCheckpointLocked persists ck via tmp + rename + fsync. Caller holds
+// s.mu.
+func (s *Store) writeCheckpointLocked(ck checkpointDTO) error {
 	tmp := s.checkpointPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -321,17 +430,6 @@ func (s *Store) Checkpoint() error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := s.wal.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	s.walW.Reset(s.wal)
-	s.walBytes = 0
-	s.unsynced = 0
-	s.ckptLSN = ck.LSN
-	s.checkpoints++
 	return nil
 }
 
@@ -339,13 +437,21 @@ func (s *Store) Checkpoint() error {
 func (s *Store) Metrics() StoreMetrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreMetrics{
+	m := StoreMetrics{
 		LSN:           s.lsn,
 		CheckpointLSN: s.ckptLSN,
 		WALBytes:      s.walBytes,
 		Checkpoints:   s.checkpoints,
 		Persistent:    s.opt.Dir != "",
+		DurableLSN:    s.durableLSN,
+		Gen:           s.gen,
+		Segments:      len(s.segs),
+		OldestLSN:     s.oldestLSNLocked(),
 	}
+	for _, seg := range s.segs {
+		m.SegmentBytes += seg.bytes
+	}
+	return m
 }
 
 // Close syncs and closes the WAL. The engine stays readable.

@@ -1,0 +1,231 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	var attempts []int
+	p := Policy{
+		InitialInterval: time.Microsecond,
+		MaxInterval:     10 * time.Microsecond,
+		OnRetry:         func(attempt int, err error, sleep time.Duration) { attempts = append(attempts, attempt) },
+	}
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v", attempts)
+	}
+}
+
+func TestRetryMaxAttempts(t *testing.T) {
+	calls := 0
+	p := Policy{InitialInterval: time.Microsecond, MaxAttempts: 4}
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return errors.New("always")
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want failure after 4", err, calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("bad request")
+	err := Retry(context.Background(), Policy{InitialInterval: time.Microsecond}, func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("wrapping: %w", sentinel))
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v does not unwrap to sentinel", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("permanence lost through return")
+	}
+}
+
+// TestRetryCancellationMidSleep: a canceled context must interrupt the
+// backoff sleep promptly, not wait it out.
+func TestRetryCancellationMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{InitialInterval: time.Hour, Jitter: 0} // sleep would be an hour
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, p, func(context.Context) error { return errors.New("fail") })
+	}()
+	time.Sleep(10 * time.Millisecond) // let it enter the sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Retry did not return after cancellation mid-sleep")
+	}
+}
+
+func TestRetryMaxElapsed(t *testing.T) {
+	start := time.Now()
+	p := Policy{InitialInterval: 50 * time.Millisecond, Jitter: 0, MaxElapsed: 80 * time.Millisecond}
+	err := Retry(context.Background(), p, func(context.Context) error { return errors.New("always") })
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	// 1st sleep 50ms fits; the 2nd (100ms) would exceed 80ms total, so the
+	// loop must give up without sleeping it out.
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("took %s; MaxElapsed did not stop the loop", el)
+	}
+}
+
+// TestPolicySleepMath pins the deterministic (jitter-free) backoff schedule
+// and the jitter bounds.
+func TestPolicySleepMath(t *testing.T) {
+	p := Policy{InitialInterval: 100 * time.Millisecond, MaxInterval: time.Second, Multiplier: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Sleep(i + 1); got != w {
+			t.Fatalf("Sleep(%d) = %s, want %s", i+1, got, w)
+		}
+	}
+	// Full jitter draws uniformly in [0, ceiling): with Rand pinned the
+	// value is exact.
+	pj := Policy{InitialInterval: 100 * time.Millisecond, Jitter: -1, Rand: func() float64 { return 0.5 }}
+	if got := pj.Sleep(1); got != 50*time.Millisecond {
+		t.Fatalf("full-jitter Sleep(1) with rand=0.5 = %s, want 50ms", got)
+	}
+	pj.Rand = func() float64 { return 0 }
+	if got := pj.Sleep(1); got != 0 {
+		t.Fatalf("full-jitter Sleep(1) with rand=0 = %s, want 0", got)
+	}
+}
+
+func TestAdmissionFastPathAndQueueFull(t *testing.T) {
+	var mu sync.Mutex
+	decisions := map[string]int{}
+	release := make(chan struct{})
+	a := NewAdmission(AdmissionConfig{
+		MaxInFlight: 1, MaxQueue: -1, // no queue: overflow sheds at once
+		OnDecision: func(d string) { mu.Lock(); decisions[d]++; mu.Unlock() },
+	})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	defer close(release)
+
+	// Occupy the single slot.
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			first <- -1
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return a.InFlight() == 1 })
+
+	// The second arrival must shed immediately with 429 + Retry-After.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	release <- struct{}{}
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request status %d", code)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if decisions[AdmissionShedQueue] != 1 || decisions[AdmissionAccepted] != 1 {
+		t.Fatalf("decisions = %v", decisions)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	release := make(chan struct{})
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 8, QueueTimeout: 30 * time.Millisecond})
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	defer close(release)
+
+	go func() { resp, err := http.Get(srv.URL); _ = err; _ = resp }()
+	waitFor(t, func() bool { return a.InFlight() == 1 })
+
+	// This one queues, then times out.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 after queue timeout", resp.StatusCode)
+	}
+	release <- struct{}{}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: -1})
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	if got := a.Middleware(base); fmt.Sprintf("%p", got) == "" {
+		t.Fatal("unreachable")
+	}
+	rec := httptest.NewRecorder()
+	a.Middleware(base).ServeHTTP(rec, httptest.NewRequest("POST", "/events", nil))
+	if rec.Code != 200 {
+		t.Fatalf("disabled gate interfered: %d", rec.Code)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -2,11 +2,15 @@ package trout
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +19,7 @@ import (
 	"repro/internal/livestate"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/replication"
 	"repro/internal/resilience"
 	"repro/internal/trace"
 )
@@ -47,6 +52,25 @@ type ServiceConfig struct {
 	// Logf, when set, receives middleware diagnostics (recovered panics).
 	// Nil with a Logger set derives a printf adapter from the Logger.
 	Logf func(format string, args ...any)
+	// LeaderURL switches the service into follower mode: the live store
+	// replicates from the leader troutd at this base URL, /predict and
+	// friends serve from the replica, and the write endpoints (/events,
+	// /state) are forwarded to the leader instead of handled locally.
+	// Empty means leader (normal) mode.
+	LeaderURL string
+	// ProxyWrites makes a follower transparently reverse-proxy write
+	// requests to the leader. False (the default) answers writes with a
+	// 307 redirect instead, keeping the follower out of the write path.
+	ProxyWrites bool
+	// Replication tunes the follower pull loop (poll window, retry
+	// policy, lag thresholds). Ignored in leader mode; LeaderURL and the
+	// live store are filled in by the service.
+	Replication replication.FollowerConfig
+	// Admission bounds concurrent ingest on POST /events and /state so
+	// bursts shed with 429 + Retry-After before touching the engine lock.
+	// The zero value enables the gate with its defaults (16 in flight,
+	// 64 queued, 1s queue timeout); MaxInFlight < 0 disables it.
+	Admission resilience.AdmissionConfig
 }
 
 func (c *ServiceConfig) defaults() {
@@ -107,6 +131,14 @@ type Service struct {
 	tracker      *obs.AccuracyTracker
 	telemetry    *obs.TrainTelemetry
 
+	// Replication: every service exposes the leader-side endpoints over
+	// its own store; follower mode additionally runs a pull loop and
+	// forwards writes.
+	repLeader *replication.Leader
+	follower  *replication.Follower
+	admission *resilience.Admission
+	admTotal  *obs.CounterVec // trout_admission_total{decision}
+
 	mu    sync.RWMutex
 	state *Trace
 }
@@ -145,8 +177,29 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		live:   cfg.Live,
 		state:  initial,
 	}
+	s.repLeader = replication.NewLeader(s.live, replication.LeaderOptions{})
+	if cfg.LeaderURL != "" {
+		fc := cfg.Replication
+		fc.LeaderURL = cfg.LeaderURL
+		fc.Store = s.live
+		if fc.Logger == nil {
+			fc.Logger = cfg.Logger
+		}
+		f, err := replication.NewFollower(fc)
+		if err != nil {
+			return nil, fmt.Errorf("trout: follower setup: %w", err)
+		}
+		s.follower = f
+	}
 	s.initTelemetry()
-	if len(initial.Jobs) > 0 && s.live.Engine().Stats().Tracked == 0 {
+	adm := cfg.Admission
+	if adm.OnDecision == nil {
+		adm.OnDecision = func(d string) { s.admTotal.Inc(d) }
+	}
+	s.admission = resilience.NewAdmission(adm)
+	// A follower's replica is fed by the leader's stream, never by a local
+	// seed — seeding would just diverge it and force a re-snapshot.
+	if s.follower == nil && len(initial.Jobs) > 0 && s.live.Engine().Stats().Tracked == 0 {
 		if _, err := s.live.Seed(initial); err != nil {
 			return nil, fmt.Errorf("trout: seeding live state: %w", err)
 		}
@@ -154,6 +207,20 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 	s.ready.Store(true)
 	return s, nil
 }
+
+// StartReplication launches the follower pull loop; it runs until ctx is
+// canceled. No-op in leader mode. The daemon (or test) owns the context.
+func (s *Service) StartReplication(ctx context.Context) {
+	if s.follower != nil {
+		go func() { _ = s.follower.Run(ctx) }()
+	}
+}
+
+// Follower exposes the replication pull loop (nil in leader mode).
+func (s *Service) Follower() *replication.Follower { return s.follower }
+
+// ReplicationLeader exposes the leader-side replication endpoints wrapper.
+func (s *Service) ReplicationLeader() *replication.Leader { return s.repLeader }
 
 // initTelemetry builds the service's metric registry: the hot-path
 // families the handlers update directly, scrape-time collectors over the
@@ -233,6 +300,56 @@ func (s *Service) initTelemetry() {
 		s.tracker.Resolve(jobID, eligible, start)
 	})
 
+	// Admission control: decisions are pushed by the gate's hook; depth
+	// gauges are sampled at scrape time.
+	s.admTotal = r.CounterVec("trout_admission_total",
+		"Ingest admission decisions (accepted vs shed_*).", "decision")
+	r.GaugeFunc("trout_admission_in_flight",
+		"Ingest requests currently holding an admission slot.",
+		func() float64 { return float64(s.admission.InFlight()) })
+	r.GaugeFunc("trout_admission_queued",
+		"Ingest requests currently queued for an admission slot.",
+		func() float64 { return float64(s.admission.Queued()) })
+
+	// Leader-side replication counters (what this node shipped to
+	// followers), sampled at scrape time.
+	r.CounterFunc("trout_replication_wal_requests_total",
+		"WAL fetches served to followers.",
+		func() float64 { return float64(s.repLeader.Stats().WALRequests) })
+	r.CounterFunc("trout_replication_bytes_shipped_total",
+		"WAL and snapshot bytes shipped to followers.",
+		func() float64 { return float64(s.repLeader.Stats().BytesShipped) })
+	r.CounterFunc("trout_replication_snapshots_served_total",
+		"Full snapshots served to followers.",
+		func() float64 { return float64(s.repLeader.Stats().Snapshots) })
+
+	// Follower-side lag and progress (follower mode only).
+	if s.follower != nil {
+		r.GaugeFunc("trout_replication_lag_events",
+			"Events the replica is behind the leader's durable LSN.",
+			func() float64 { return float64(s.follower.Stats().LagEvents) })
+		r.GaugeFunc("trout_replication_lag_seconds",
+			"Seconds since the replica was last caught up with the leader.",
+			func() float64 { return s.follower.Stats().LagSeconds })
+		r.GaugeFunc("trout_replication_caught_up",
+			"1 once the replica has fully caught up with the leader at least once.",
+			func() float64 {
+				if s.follower.Stats().CaughtUp {
+					return 1
+				}
+				return 0
+			})
+		r.CounterFunc("trout_replication_records_applied_total",
+			"WAL records replayed into the replica.",
+			func() float64 { return float64(s.follower.Stats().RecordsApplied) })
+		r.CounterFunc("trout_replication_fetch_errors_total",
+			"Failed replication fetches (network faults, leader outages).",
+			func() float64 { return float64(s.follower.Stats().FetchErrors) })
+		r.CounterFunc("trout_replication_resnapshots_total",
+			"Full re-snapshots taken after divergence, retention gaps, or state swaps.",
+			func() float64 { return float64(s.follower.Stats().Resnapshots) })
+	}
+
 	s.telemetry = obs.NewTrainTelemetry(r, s.logger)
 }
 
@@ -291,6 +408,7 @@ func tiersDegraded(snap map[string]uint64, primary string) bool {
 var metricRoutes = map[string]bool{
 	"/health": true, "/ready": true, "/predict": true, "/predict/batch": true,
 	"/state": true, "/events": true, "/features": true, "/metrics": true,
+	"/replication/wal": true, "/replication/snapshot": true, "/replication/status": true,
 }
 
 // Handler returns the service's HTTP routes wrapped in the middleware
@@ -302,13 +420,40 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/ready", s.handleReady)
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/batch", s.handlePredictBatch)
-	mux.HandleFunc("/state", s.handleState)
-	mux.HandleFunc("/events", s.handleEvents)
+	if s.follower != nil {
+		// Followers own no write path: /events and /state belong to the
+		// leader, reached by 307 redirect or transparent proxy.
+		fw := s.forwardWrites()
+		mux.Handle("/state", fw)
+		mux.Handle("/events", fw)
+	} else {
+		// Leader ingest runs behind admission control: bursts shed with
+		// 429 + Retry-After before any body parsing or engine locking.
+		mux.Handle("/state", s.admission.Middleware(http.HandlerFunc(s.handleState)))
+		mux.Handle("/events", s.admission.Middleware(http.HandlerFunc(s.handleEvents)))
+	}
 	mux.HandleFunc("/features", s.handleFeatures)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Replication serving works on any node (chained followers fan out);
+	// /replication/wal answers 501 on memory-only stores.
+	s.repLeader.Register(mux)
 	var h http.Handler = mux
 	h = resilience.MaxBytes(h, s.cfg.MaxBodyBytes)
-	h = resilience.Timeout(h, s.cfg.RequestTimeout, s.cfg.Logf)
+	// The WAL long-poll parks at the log head for up to its wait parameter
+	// by design, and snapshot ships can outlast a prediction-sized deadline
+	// on a large engine state — under the per-request Timeout every idle
+	// poll would 504 and a follower of a quiet leader could never complete
+	// its first fetch. Replication endpoints bound themselves (wait clamp +
+	// client disconnect), so they bypass the deadline middleware.
+	timed := resilience.Timeout(h, s.cfg.RequestTimeout, s.cfg.Logf)
+	untimed := h
+	h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/replication/") {
+			untimed.ServeHTTP(w, r)
+			return
+		}
+		timed.ServeHTTP(w, r)
+	})
 	h = resilience.Recover(h, s.cfg.Logf)
 	h = obs.Instrument(h, obs.HTTPOptions{
 		Logger:       s.logger,
@@ -336,6 +481,23 @@ type healthResponse struct {
 	Degraded      bool              `json:"degraded"`
 	// Live summarizes the event-sourced engine's state.
 	Live liveHealth `json:"live"`
+	// Replication reports this node's role and, for followers, lag.
+	Replication replicationHealth `json:"replication"`
+}
+
+// replicationHealth is the /health replication section. Leader fields are
+// always present; follower fields only in follower mode.
+type replicationHealth struct {
+	Role       string `json:"role"` // "leader" | "follower"
+	DurableLSN uint64 `json:"durable_lsn"`
+	Gen        uint64 `json:"state_gen"`
+	// Follower-only:
+	LeaderURL   string  `json:"leader_url,omitempty"`
+	CaughtUp    bool    `json:"caught_up,omitempty"`
+	LagEvents   uint64  `json:"lag_events,omitempty"`
+	LagSeconds  float64 `json:"lag_seconds,omitempty"`
+	Resnapshots uint64  `json:"resnapshots,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
 }
 
 type liveHealth struct {
@@ -356,18 +518,41 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	st := s.live.Engine().Stats()
 	tiers := s.tiers.Snapshot()
+	sm := s.live.Metrics()
+	rep := replicationHealth{Role: "leader", DurableLSN: sm.DurableLSN, Gen: sm.Gen}
+	degraded := tiersDegraded(tiers, resilience.TierNN)
+	status := "ok"
+	if s.follower != nil {
+		fs := s.follower.Stats()
+		rep.Role = "follower"
+		rep.LeaderURL = fs.LeaderURL
+		rep.CaughtUp = fs.CaughtUp
+		rep.LagEvents = fs.LagEvents
+		rep.LagSeconds = fs.LagSeconds
+		rep.Resnapshots = fs.Resnapshots
+		if err := s.follower.Err(); err != nil {
+			// Replication lag past threshold (or lost leader): the node
+			// still answers, but from stale state.
+			status = "degraded"
+			degraded = true
+			rep.LastError = err.Error()
+		} else if fs.LastError != "" {
+			rep.LastError = fs.LastError
+		}
+	}
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:        "ok",
+		Status:        status,
 		CutoffMinutes: s.bundle.Model.Cfg.CutoffMinutes,
 		NumFeatures:   s.bundle.Model.NumInputs,
 		QueueJobs:     n,
 		Partitions:    len(s.bundle.Cluster.Partitions),
 		FallbackTiers: tiers,
-		Degraded:      tiersDegraded(tiers, resilience.TierNN),
+		Degraded:      degraded,
 		Live: liveHealth{
 			Now: st.Now, Pending: st.Pending, Running: st.Running,
 			Tracked: st.Tracked, Sources: s.sources.Snapshot(),
 		},
+		Replication: rep,
 	})
 }
 
@@ -380,7 +565,44 @@ func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 		resilience.WriteError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	// A follower is ready only once its replica has caught up and stays
+	// within the lag threshold — load balancers should not route fresh
+	// traffic to a stale replica, even though /predict still answers
+	// (degraded) for clients already pinned to it.
+	if s.follower != nil {
+		if err := s.follower.Err(); err != nil {
+			resilience.WriteError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+// forwardWrites returns the follower-mode handler for the write endpoints:
+// a transparent reverse proxy to the leader when ProxyWrites is set, a 307
+// redirect (method-preserving) otherwise.
+func (s *Service) forwardWrites() http.Handler {
+	target, err := url.Parse(s.cfg.LeaderURL)
+	if err != nil || target.Scheme == "" || target.Host == "" {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			resilience.WriteError(w, http.StatusBadGateway,
+				fmt.Sprintf("follower: bad leader URL %q", s.cfg.LeaderURL))
+		})
+	}
+	if !s.cfg.ProxyWrites {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			dest := *target
+			dest.Path = r.URL.Path
+			dest.RawQuery = r.URL.RawQuery
+			http.Redirect(w, r, dest.String(), http.StatusTemporaryRedirect)
+		})
+	}
+	proxy := httputil.NewSingleHostReverseProxy(target)
+	proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		resilience.WriteError(w, http.StatusBadGateway,
+			fmt.Sprintf("follower: leader unreachable: %v", err))
+	}
+	return proxy
 }
 
 // parseJobID strictly parses a ?job=ID query parameter: the whole value

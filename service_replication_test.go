@@ -1,0 +1,366 @@
+// Service-level replication tests: a leader and a follower dashboard
+// wired through /replication/*, the follower readiness contract (503 on
+// /ready while behind, /predict still answering), leader/follower answer
+// equivalence down to the 33-feature vector, ingest admission control,
+// and the fault-window response-validity contract under load.
+package trout_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	trout "repro"
+	"repro/internal/livestate"
+	"repro/internal/loadgen"
+	"repro/internal/replication"
+	"repro/internal/resilience"
+)
+
+var replTestRetry = resilience.Policy{InitialInterval: 5 * time.Millisecond, MaxInterval: 50 * time.Millisecond}
+
+// leaderService builds a WAL-backed dashboard service seeded with the
+// shared experiment's trace.
+func leaderService(t *testing.T, cfg trout.ServiceConfig) (*httptest.Server, *trout.Service, *trout.Experiment) {
+	t.Helper()
+	e := sharedExperiment(t)
+	if cfg.Live == nil {
+		st, err := livestate.OpenStore(livestate.StoreOptions{
+			Dir: t.TempDir(), SyncEvery: -1, SegmentBytes: 64 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Live = st
+	}
+	svc, err := trout.NewServiceWith(resilientBundle(t), e.Trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv, svc, e
+}
+
+// followerService builds a follower replicating from leaderURL. The pull
+// loop is NOT started; call svc.StartReplication when the test wants it.
+func followerService(t *testing.T, leaderURL string) (*httptest.Server, *trout.Service) {
+	t.Helper()
+	e := sharedExperiment(t)
+	svc, err := trout.NewServiceWith(resilientBundle(t), e.Trace, trout.ServiceConfig{
+		LeaderURL: leaderURL,
+		Replication: replication.FollowerConfig{
+			Retry: replTestRetry, PollWait: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func waitReplicated(t *testing.T, leader, follower *trout.Service) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		lm, fm := leader.LiveStore().Metrics(), follower.LiveStore().Metrics()
+		if fm.LSN == lm.LSN && fm.Gen == lm.Gen && follower.Follower().Stats().CaughtUp {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	lm, fm := leader.LiveStore().Metrics(), follower.LiveStore().Metrics()
+	t.Fatalf("follower never caught up: leader lsn=%d gen=%d follower lsn=%d gen=%d",
+		lm.LSN, lm.Gen, fm.LSN, fm.Gen)
+}
+
+// TestFollowerReadyReflectsReplicationLag pins the satellite-3 regression:
+// a follower that has not caught up answers 503 on /ready (load balancers
+// must skip it) while /predict still serves — degraded, but available and
+// tier-tagged.
+func TestFollowerReadyReflectsReplicationLag(t *testing.T) {
+	lsrv, lsvc, e := leaderService(t, trout.ServiceConfig{})
+	fsrv, fsvc := followerService(t, lsrv.URL)
+
+	// Replication not started: the replica is maximally behind.
+	resp, err := http.Get(fsrv.URL + "/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/ready on a behind follower = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "error") {
+		t.Fatalf("503 without structured error body: %s", body)
+	}
+
+	// /predict still answers, tier-tagged, from the scan fallback.
+	at := e.Trace.Jobs[len(e.Trace.Jobs)-1].End + 100
+	preq := fmt.Sprintf(`{"at":%d,"job":{"user":3,"partition":"shared","req_cpus":8,"req_mem_gb":16,"req_nodes":1,"time_limit":7200,"priority":3000}}`, at)
+	var pr struct {
+		Tier   string `json:"tier"`
+		Source string `json:"snapshot_source"`
+	}
+	presp, err := http.Post(fsrv.URL+"/predict", "application/json", strings.NewReader(preq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK {
+		presp.Body.Close()
+		t.Fatalf("/predict on a behind follower = %d, want 200", presp.StatusCode)
+	}
+	if err := jsonDecode(presp.Body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if pr.Tier == "" {
+		t.Fatal("degraded prediction lost its tier tag")
+	}
+
+	// Catch up; /ready must flip to 200 and /health must not be degraded.
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	fsvc.StartReplication(ctx)
+	waitReplicated(t, lsvc, fsvc)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(fsrv.URL + "/ready")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/ready stayed %d after catch-up", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var h struct {
+		Status      string `json:"status"`
+		Replication struct {
+			Role     string `json:"role"`
+			CaughtUp bool   `json:"caught_up"`
+		} `json:"replication"`
+	}
+	if code := getJSON(t, fsrv.URL+"/health", &h); code != 200 {
+		t.Fatalf("health status %d", code)
+	}
+	if h.Status != "ok" || h.Replication.Role != "follower" || !h.Replication.CaughtUp {
+		t.Fatalf("follower health after catch-up: %+v", h)
+	}
+}
+
+// TestLeaderFollowerIdenticalAnswers is the convergence acceptance at the
+// API surface: after events flow leader→follower, both nodes produce the
+// same 33-feature vector and the same prediction for a probe job, and the
+// follower forwards writes to the leader.
+func TestLeaderFollowerIdenticalAnswers(t *testing.T) {
+	lsrv, lsvc, e := leaderService(t, trout.ServiceConfig{})
+	fsrv, fsvc := followerService(t, lsrv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	fsvc.StartReplication(ctx)
+	waitReplicated(t, lsvc, fsvc)
+
+	// Probe job enters through the LEADER's event stream.
+	const probe = 9200001
+	now := e.Trace.Jobs[len(e.Trace.Jobs)-1].End + 100
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"type":"submit","time":%d,"job":{"id":%d,"user":3,"partition":"shared","submit":%d,"req_cpus":8,"req_mem_gb":16,"req_nodes":1,"time_limit":7200,"priority":3000}}`+"\n", now, probe, now)
+	fmt.Fprintf(&buf, `{"type":"eligible","time":%d,"job_id":%d}`+"\n", now+5, probe)
+	resp, err := http.Post(lsrv.URL+"/events", "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader events status %d", resp.StatusCode)
+	}
+	waitReplicated(t, lsvc, fsvc)
+
+	// Identical 33-feature vectors for the probe job on both nodes.
+	var lf, ff map[string]float64
+	if code := getJSON(t, fmt.Sprintf("%s/features?job=%d", lsrv.URL, probe), &lf); code != 200 {
+		t.Fatalf("leader features status %d", code)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/features?job=%d", fsrv.URL, probe), &ff); code != 200 {
+		t.Fatalf("follower features status %d", code)
+	}
+	if len(lf) != len(trout.FeatureNames) {
+		t.Fatalf("leader served %d features, want %d", len(lf), len(trout.FeatureNames))
+	}
+	if len(lf) != len(ff) {
+		t.Fatalf("feature count mismatch: leader %d follower %d", len(lf), len(ff))
+	}
+	for name, lv := range lf {
+		if fv, ok := ff[name]; !ok || fv != lv {
+			t.Fatalf("feature %q diverged: leader %v follower %v (ok=%v)", name, lv, ff[name], ok)
+		}
+	}
+
+	// Identical predictions, byte for byte.
+	preq := fmt.Sprintf(`{"at":%d,"job":{"user":5,"partition":"shared","req_cpus":16,"req_mem_gb":32,"req_nodes":1,"time_limit":14400,"priority":2500}}`, now+10)
+	post := func(url string) string {
+		resp, err := http.Post(url+"/predict", "application/json", strings.NewReader(preq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict on %s: %d", url, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if lp, fp := post(lsrv.URL), post(fsrv.URL); lp != fp {
+		t.Fatalf("predictions diverged:\nleader:   %s\nfollower: %s", lp, fp)
+	}
+
+	// Writes on the follower are not handled locally: 307 to the leader.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	wresp, err := noRedirect.Post(fsrv.URL+"/events", "application/jsonl", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("follower write = %d, want 307", wresp.StatusCode)
+	}
+	if loc := wresp.Header.Get("Location"); !strings.HasPrefix(loc, lsrv.URL) {
+		t.Fatalf("redirect points at %q, not the leader", loc)
+	}
+}
+
+// TestIngestAdmissionSheds pins the load-shed contract on the leader's
+// ingest path: with the single admission slot held by a slow upload, the
+// next ingest request sheds immediately with 429 + Retry-After and the
+// decision surfaces on /metrics.
+func TestIngestAdmissionSheds(t *testing.T) {
+	lsrv, _, _ := leaderService(t, trout.ServiceConfig{
+		Admission: resilience.AdmissionConfig{MaxInFlight: 1, MaxQueue: -1},
+	})
+
+	// Hold the only slot with an /events upload whose body never ends.
+	pr, pw := io.Pipe()
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(lsrv.URL+"/events", "application/jsonl", pr)
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	// Wait until the slot is actually held, then expect an immediate shed.
+	deadline := time.Now().Add(5 * time.Second)
+	var shed *http.Response
+	for {
+		resp, err := http.Post(lsrv.URL+"/events", "application/jsonl", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed = resp
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("never shed while the slot was held")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ra := shed.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := jsonDecode(shed.Body, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 without structured error body (err=%v)", err)
+	}
+	shed.Body.Close()
+
+	pw.Close() // release the slot
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("held upload finished with %d", code)
+	}
+
+	mresp, err := http.Get(lsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), `trout_admission_total{decision="shed_queue_full"}`) {
+		t.Fatal("shed decision missing from /metrics")
+	}
+	if !strings.Contains(string(mb), `trout_admission_total{decision="accepted"}`) {
+		t.Fatal("accepted decision missing from /metrics")
+	}
+}
+
+// TestFaultWindowResponsesAreValid drives a mixed loadgen workload at a
+// leader whose admission gate is deliberately tiny, then applies ISSUE 6's
+// acceptance: every response in the window is a valid prediction, a
+// structured error, or a 429 with Retry-After — never a hang, an empty
+// reply, or an unstructured failure.
+func TestFaultWindowResponsesAreValid(t *testing.T) {
+	lsrv, _, e := leaderService(t, trout.ServiceConfig{
+		Admission: resilience.AdmissionConfig{
+			MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 5 * time.Millisecond,
+		},
+	})
+	sc, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     lsrv.URL,
+		Requests:    300,
+		Concurrency: 8,
+		At:          e.Trace.Jobs[len(e.Trace.Jobs)-1].End + 100,
+		JobIDBase:   9_300_000,
+		Validate:    loadgen.StrictValidate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Total != 300 {
+		t.Fatalf("loadgen issued %d requests, want 300", sc.Total)
+	}
+	if sc.Invalid != 0 {
+		t.Fatalf("%d invalid responses: %v", sc.Invalid, sc.InvalidSamples)
+	}
+	if sc.NetErrors != 0 {
+		t.Fatalf("%d network errors against a live server", sc.NetErrors)
+	}
+	for code := range sc.Status {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Fatalf("unexpected status %d in fault window: %v", code, sc.Status)
+		}
+	}
+}
+
+func jsonDecode(r io.Reader, out any) error {
+	return json.NewDecoder(r).Decode(out)
+}
