@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke bench bench-json bench-smoke bench-check ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke controlplane-smoke bench bench-json bench-smoke bench-check ci clean
 
 all: build
 
@@ -30,11 +30,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Short fuzz of the event decoder and the WAL segment reader (corpus
-# seeds + 5s of mutation each; Go allows one -fuzz target per run).
+# Short fuzz of the event decoder, the WAL segment reader, and the model
+# registry manifest decoder (corpus seeds + 5s of mutation each; Go allows
+# one -fuzz target per run).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/livestate
 	$(GO) test -run '^$$' -fuzz FuzzReadSegment -fuzztime 5s ./internal/livestate
+	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 5s ./internal/controlplane
 
 # Line-by-line lint of the /metrics Prometheus exposition (HELP/TYPE
 # pairing, label escaping, cumulative buckets, deterministic ordering).
@@ -47,6 +49,15 @@ metrics-smoke:
 # acked event may be lost.
 replication-smoke:
 	$(GO) test -race -count=1 ./internal/replication/...
+
+# Continual-learning loop, in process and seconds-scale: drift on live
+# traffic triggers a retrain, the candidate shadow-scores against the
+# incumbent, and the serving bundle hot-swaps (or, for a worse candidate,
+# is rejected) under concurrent predict load — plus the registry
+# crash-safety and controller state-machine suites.
+controlplane-smoke:
+	$(GO) test -count=1 ./internal/controlplane
+	$(GO) test -run 'TestControlPlane|TestHotSwapHammer|TestAdminSwapCompatGuard' -count=1 .
 
 # Legacy O(N) snapshot scan vs the livestate engine's indexed extraction,
 # in benchstat-friendly form:
@@ -87,7 +98,7 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_train.json bench_check.txt
 	rm -f bench_check.txt
 
-ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke bench-smoke bench-check
+ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke controlplane-smoke bench-smoke bench-check
 
 clean:
 	$(GO) clean ./...

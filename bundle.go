@@ -2,7 +2,9 @@ package trout
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/livestate"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/scaling"
 )
 
 // Snapshot is a live queue view used for deployment-side prediction.
@@ -31,6 +34,14 @@ type Bundle struct {
 	// Fallback holds the tier-2/tier-3 predictors the serving path drops
 	// to when the neural network errors or emits non-finite output.
 	Fallback FallbackSpec
+	// Fingerprint is the SHA-256 of the bundle's gob encoding, set by
+	// Save/LoadBundle (empty for in-memory bundles that were never
+	// serialized). It is the model's identity everywhere the system needs
+	// to say *which* model: /health, the trout_model_info gauge, and the
+	// control plane's content-addressed registry. Not part of the wire
+	// format — it is recomputed from the bytes on every load, so a
+	// corrupted file can never claim a healthy identity.
+	Fingerprint string
 }
 
 // FallbackSpec is the degraded-mode half of a bundle. Either tier may be
@@ -401,7 +412,8 @@ type bundleDTO struct {
 	GlobalMedian float64
 }
 
-// Save writes the bundle.
+// Save writes the bundle and stamps b.Fingerprint with the SHA-256 of the
+// written bytes, so a freshly saved bundle knows its own identity.
 func (b *Bundle) Save(w io.Writer) error {
 	var mb bytes.Buffer
 	if err := b.Model.Save(&mb); err != nil {
@@ -421,13 +433,21 @@ func (b *Bundle) Save(w io.Writer) error {
 			return err
 		}
 	}
-	return gob.NewEncoder(w).Encode(dto)
+	h := sha256.New()
+	if err := gob.NewEncoder(io.MultiWriter(w, h)).Encode(dto); err != nil {
+		return err
+	}
+	b.Fingerprint = hex.EncodeToString(h.Sum(nil))
+	return nil
 }
 
-// LoadBundle reads a bundle written by Save.
+// LoadBundle reads a bundle written by Save. The returned bundle's
+// Fingerprint is the SHA-256 of the bytes actually consumed, so identity
+// always reflects what was read, never what a manifest claimed.
 func LoadBundle(r io.Reader) (*Bundle, error) {
+	h := sha256.New()
 	var dto bundleDTO
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+	if err := gob.NewDecoder(io.TeeReader(r, h)).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("trout: load bundle: %w", err)
 	}
 	m, err := core.Load(bytes.NewReader(dto.Model))
@@ -448,7 +468,60 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 	}
 	b.Fallback.PartitionMedianMinutes = dto.Medians
 	b.Fallback.GlobalMedianMinutes = dto.GlobalMedian
+	b.Fingerprint = hex.EncodeToString(h.Sum(nil))
 	return b, nil
+}
+
+// IncompatibleBundleError marks a candidate bundle that cannot serve
+// behind the current prediction pipeline — wrong feature width, missing
+// or unknown scaler, missing runtime predictor, or a cluster spec that
+// lost partitions the serving pipeline still routes. Returned by
+// CompatibleWith and the service's swap path so an incompatible swap is a
+// structured 4xx on the admin endpoint instead of a panic at first
+// predict.
+type IncompatibleBundleError struct {
+	Reason string
+}
+
+func (e *IncompatibleBundleError) Error() string {
+	return "trout: incompatible bundle: " + e.Reason
+}
+
+// CompatibleWith checks that b can replace cur behind the serving
+// pipeline: the model must exist, take the pipeline's feature-vector
+// width, carry a scaler of a known kind and a runtime predictor (both are
+// consulted on every SnapshotRow), and its cluster spec must cover every
+// partition cur serves — a bundle missing a partition would turn every
+// prediction for that partition into a 400. A nil cur skips the
+// partition-coverage check.
+func (b *Bundle) CompatibleWith(cur *Bundle) error {
+	bad := func(format string, args ...any) error {
+		return &IncompatibleBundleError{Reason: fmt.Sprintf(format, args...)}
+	}
+	if b == nil || b.Model == nil {
+		return bad("no model")
+	}
+	if b.Model.NumInputs != features.NumFeatures {
+		return bad("model takes %d features, pipeline produces %d", b.Model.NumInputs, features.NumFeatures)
+	}
+	if b.Model.Scaler == nil {
+		return bad("model has no fitted scaler")
+	}
+	if _, err := scaling.New(b.Model.Scaler.Kind()); err != nil {
+		return bad("unknown scaler kind %q", b.Model.Scaler.Kind())
+	}
+	if b.Runtime == nil {
+		return bad("no runtime predictor")
+	}
+	if cur != nil {
+		for i := range cur.Cluster.Partitions {
+			name := cur.Cluster.Partitions[i].Name
+			if b.Cluster.Partition(name) == nil {
+				return bad("cluster spec lost partition %q", name)
+			}
+		}
+	}
+	return nil
 }
 
 // SaveFile writes the bundle to a path.

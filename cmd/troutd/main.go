@@ -91,6 +91,18 @@ func main() {
 		proxyWrites = flag.Bool("proxy-writes", false, "follower: transparently proxy write requests to the leader instead of 307-redirecting")
 		replLag     = flag.Uint64("replication-lag-events", 4096, "follower: /ready turns 503 and /health degraded past this many events of lag")
 
+		registryDir    = flag.String("registry-dir", "", "model registry directory; enables the continual-learning control plane (drift-triggered retrain, shadow scoring, hot-swap)")
+		registryRetain = flag.Int("registry-retain", 5, "non-active model blobs kept in the registry before pruning (-1 = keep all)")
+		retrainDrift   = flag.Float64("retrain-drift", 0.15, "absolute online calibration drift that triggers a retrain (-1 disables the drift trigger)")
+		retrainMAE     = flag.Float64("retrain-mae", 0, "online MAE (minutes) that triggers a retrain (0 disables)")
+		retrainWindow  = flag.Int("retrain-min-window", 64, "joined online outcomes required before drift triggers fire")
+		retrainEvery   = flag.Duration("retrain-interval", 30*time.Minute, "minimum spacing between automatic retrains (manual POST /admin/retrain bypasses it)")
+		retrainCheck   = flag.Duration("retrain-check", 15*time.Second, "drift evaluation cadence")
+		retrainMinJobs = flag.Int("retrain-min-jobs", 500, "completed jobs the engine must hold before a retrain can build a training set")
+		retrainTune    = flag.Int("retrain-tune-trials", 0, "hyperparameter search trials per retrain (0 reuses the incumbent configuration)")
+		shadowWindow   = flag.Int("shadow-window", 32, "joined outcomes each shadow tracker needs before a candidate is judged")
+		shadowTimeout  = flag.Duration("shadow-timeout", time.Hour, "reject a candidate whose shadow window never fills within this")
+
 		admitInflight = flag.Int("admit-inflight", 16, "concurrent ingest requests admitted on /events and /state (-1 disables admission control)")
 		admitQueue    = flag.Int("admit-queue", 64, "ingest requests allowed to queue for an admission slot; beyond it requests shed with 429")
 		admitTimeout  = flag.Duration("admit-queue-timeout", time.Second, "queued ingest requests shed with 429 after waiting this long")
@@ -153,6 +165,34 @@ func main() {
 	if err != nil {
 		fatal("build service", err)
 	}
+
+	// Control plane: only leaders retrain (a follower's replica is the
+	// leader's state; two nodes retraining the same stream would race
+	// promotions), but the flag is honored wherever it is set.
+	var cp *trout.ControlPlane
+	if *registryDir != "" {
+		if *follow != "" {
+			logger.Warn("control plane on a follower: retrains run against the replicated state")
+		}
+		cp, err = svc.AttachControlPlane(trout.ControlPlaneConfig{
+			RegistryDir:    *registryDir,
+			RegistryRetain: *registryRetain,
+			DriftThreshold: *retrainDrift,
+			MAEThreshold:   *retrainMAE,
+			MinWindow:      *retrainWindow,
+			MinInterval:    *retrainEvery,
+			CheckInterval:  *retrainCheck,
+			ShadowWindow:   *shadowWindow,
+			ShadowTimeout:  *shadowTimeout,
+			MinTrainJobs:   *retrainMinJobs,
+			TuneTrials:     *retrainTune,
+			Logger:         logger,
+		})
+		if err != nil {
+			fatal("attach control plane", err)
+		}
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -168,6 +208,13 @@ func main() {
 	// Follower mode: pull the leader's WAL until shutdown. /ready stays
 	// 503 until the replica first catches up.
 	svc.StartReplication(ctx)
+	if cp != nil {
+		go func() { _ = cp.Run(ctx) }()
+		logger.Info("control plane running",
+			slog.String("registry", *registryDir),
+			slog.Float64("drift_threshold", *retrainDrift),
+			slog.Int("shadow_window", *shadowWindow))
+	}
 	if *follow != "" {
 		logger.Info("following leader", slog.String("leader", *follow),
 			slog.Bool("proxy_writes", *proxyWrites), slog.Uint64("lag_threshold", *replLag))

@@ -1,0 +1,640 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/obs"
+)
+
+// Controller states (the DESIGN §11 lifecycle: Idle→Retraining→Shadow→
+// Promoted/Rejected, with a post-promotion probation that can roll back).
+const (
+	StateIdle       = "idle"
+	StateRetraining = "retraining"
+	StateShadow     = "shadow"
+)
+
+// Verdicts recorded after each retrain cycle.
+const (
+	VerdictPromoted   = "promoted"
+	VerdictRejected   = "rejected"
+	VerdictFailed     = "failed"
+	VerdictRolledBack = "rolled_back"
+)
+
+// Candidate is one retrain's output: the serialized bundle (what the
+// registry stores and the promote path decodes), a live predictor for
+// shadow scoring, and the provenance the manifest records.
+type Candidate struct {
+	Blob        []byte
+	Predictor   Predictor
+	Eval        Eval
+	Hyperparams map[string]string
+	Samples     int
+	// Watermark is the training-data horizon (live-state engine clock at
+	// extraction time).
+	Watermark int64
+}
+
+// Options wires a Controller to its environment. Registry, Train, Drift,
+// and Promote are required; everything else has production defaults.
+type Options struct {
+	// Registry stores published candidates.
+	Registry *Registry
+	// Train builds a candidate from current data. It must honor ctx —
+	// shutdown and drain cancel retrains through it.
+	Train func(ctx context.Context) (*Candidate, error)
+	// Drift samples the incumbent's online accuracy (the same source as
+	// the trout_online_* gauges); it drives both the retrain trigger and
+	// the post-promotion regression check.
+	Drift func() obs.OnlineStats
+	// Promote atomically swaps the decoded bundle into serving. A typed
+	// incompatibility error rejects the candidate instead of panicking
+	// at first predict.
+	Promote func(m Manifest, blob []byte) error
+	// Rollback restores the bundle that was serving before the last
+	// Promote. Required if RollbackFactor > 0.
+	Rollback func() error
+	// IncumbentID names the currently serving model (fingerprint hex);
+	// recorded as each candidate's parent.
+	IncumbentID func() string
+
+	// CutoffMinutes is the long/short boundary for the shadow trackers
+	// (both sides use the incumbent's cutoff so hit-rates compare).
+	CutoffMinutes float64
+
+	// DriftThreshold triggers a retrain when |calibration drift| reaches
+	// it; 0 means 0.15, negative disables the drift trigger.
+	DriftThreshold float64
+	// MAEThreshold triggers a retrain when online MAE (minutes) reaches
+	// it; 0 disables.
+	MAEThreshold float64
+	// MinWindow is how many joined outcomes the online window needs
+	// before its signal is trusted; 0 means 64.
+	MinWindow int
+	// MinInterval spaces automatic retrains; 0 means 30m. Manual
+	// triggers bypass it.
+	MinInterval time.Duration
+	// CheckInterval is the drift poll (and shadow/probation poll)
+	// cadence; 0 means 15s.
+	CheckInterval time.Duration
+
+	// ShadowWindow is how many joined outcomes each shadow tracker needs
+	// before the candidate is judged; 0 means 32.
+	ShadowWindow int
+	// ShadowTimeout rejects a candidate whose shadow window never fills
+	// (quiet cluster, no joinable traffic); 0 means 1h.
+	ShadowTimeout time.Duration
+	// ShadowQueue bounds the off-hot-path scoring queue; 0 means 256.
+	ShadowQueue int
+
+	// MAERatio promotes only when candidate shadow MAE <= incumbent
+	// shadow MAE × ratio (when both windows have regression outcomes);
+	// 0 means 1.0.
+	MAERatio float64
+	// HitRateSlack lets the candidate's shadow hit-rate trail the
+	// incumbent's by this much before it is disqualified; 0 means 0.02.
+	HitRateSlack float64
+
+	// RollbackWindow is how many fresh joined outcomes to observe after a
+	// promotion before the regression check clears it; 0 means
+	// ShadowWindow. RollbackFactor rolls the promotion back when the
+	// online MAE over the probation exceeds the pre-promotion MAE × this
+	// factor; 0 means 2.0, negative disables probation.
+	RollbackWindow int
+	RollbackFactor float64
+
+	Logger *slog.Logger
+}
+
+func (o *Options) defaults() error {
+	if o.Registry == nil || o.Train == nil || o.Drift == nil || o.Promote == nil {
+		return fmt.Errorf("controlplane: controller needs Registry, Train, Drift, and Promote")
+	}
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = 0.15
+	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = 64
+	}
+	if o.MinInterval == 0 {
+		o.MinInterval = 30 * time.Minute
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = 15 * time.Second
+	}
+	if o.ShadowWindow <= 0 {
+		o.ShadowWindow = 32
+	}
+	if o.ShadowTimeout <= 0 {
+		o.ShadowTimeout = time.Hour
+	}
+	if o.MAERatio <= 0 {
+		o.MAERatio = 1.0
+	}
+	if o.HitRateSlack == 0 {
+		o.HitRateSlack = 0.02
+	}
+	if o.RollbackWindow <= 0 {
+		o.RollbackWindow = o.ShadowWindow
+	}
+	if o.RollbackFactor == 0 {
+		o.RollbackFactor = 2.0
+	}
+	if o.RollbackFactor > 0 && o.Rollback == nil {
+		return fmt.Errorf("controlplane: RollbackFactor > 0 needs a Rollback callback")
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return nil
+}
+
+// Status is a consistent snapshot of the controller for /health and the
+// admin endpoints.
+type Status struct {
+	State       string `json:"state"`
+	LastVerdict string `json:"last_verdict,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	// Candidate identifies the version currently (or last) under shadow.
+	CandidateVersion int    `json:"candidate_version,omitempty"`
+	CandidateID      string `json:"candidate_id,omitempty"`
+	// Shadow progress/scores for the in-flight candidate.
+	CandWindow  int     `json:"cand_window,omitempty"`
+	IncWindow   int     `json:"inc_window,omitempty"`
+	CandMAE     float64 `json:"cand_mae_minutes,omitempty"`
+	IncMAE      float64 `json:"inc_mae_minutes,omitempty"`
+	CandHitRate float64 `json:"cand_hit_rate,omitempty"`
+	IncHitRate  float64 `json:"inc_hit_rate,omitempty"`
+	// Cycle counters.
+	Retrains        uint64 `json:"retrains"`
+	Promotions      uint64 `json:"promotions"`
+	Rejections      uint64 `json:"rejections"`
+	Failures        uint64 `json:"failures"`
+	Rollbacks       uint64 `json:"rollbacks"`
+	LastRetrainUnix int64  `json:"last_retrain_unix,omitempty"`
+}
+
+// Controller runs the retrain→shadow→promote loop. Create with
+// NewController, start with Run, feed with ObserveServed/ObserveStart,
+// trigger manually with TriggerRetrain.
+type Controller struct {
+	opt Options
+
+	manual chan struct{}
+	shadow atomic.Pointer[shadowRun]
+
+	mu          sync.Mutex
+	state       string
+	lastVerdict string
+	lastErr     string
+	candVer     int
+	candID      string
+	lastRetrain time.Time
+
+	retrains   atomic.Uint64
+	promotions atomic.Uint64
+	rejections atomic.Uint64
+	failures   atomic.Uint64
+	rollbacks  atomic.Uint64
+	// shadowDropped/shadowScored/shadowErrs accumulate across cycles so
+	// the exported counters stay monotonic.
+	shadowScored  atomic.Uint64
+	shadowDropped atomic.Uint64
+	shadowErrs    atomic.Uint64
+}
+
+// NewController validates options and returns an idle controller.
+func NewController(opt Options) (*Controller, error) {
+	if err := opt.defaults(); err != nil {
+		return nil, err
+	}
+	return &Controller{opt: opt, state: StateIdle, manual: make(chan struct{}, 1)}, nil
+}
+
+// TriggerRetrain requests a retrain cycle outside the drift thresholds
+// (the POST /admin/retrain path). It reports whether the request was
+// accepted; a cycle already running or queued declines.
+func (c *Controller) TriggerRetrain() (bool, string) {
+	c.mu.Lock()
+	state := c.state
+	c.mu.Unlock()
+	if state != StateIdle {
+		return false, "retrain cycle already in progress (state " + state + ")"
+	}
+	select {
+	case c.manual <- struct{}{}:
+		return true, "retrain queued"
+	default:
+		return false, "retrain already queued"
+	}
+}
+
+// Run executes the control loop until ctx is canceled. Shutdown mid-cycle
+// cancels training through ctx and abandons the in-flight candidate
+// (status stays shadow in the registry; the next boot's operator can see
+// it was never judged).
+func (c *Controller) Run(ctx context.Context) error {
+	tick := time.NewTicker(c.opt.CheckInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.manual:
+			c.cycle(ctx, "manual")
+		case <-tick.C:
+			if reason, ok := c.shouldRetrain(); ok {
+				c.cycle(ctx, reason)
+			}
+		}
+	}
+}
+
+// shouldRetrain evaluates the drift thresholds against the online window.
+func (c *Controller) shouldRetrain() (string, bool) {
+	c.mu.Lock()
+	idle := c.state == StateIdle
+	last := c.lastRetrain
+	c.mu.Unlock()
+	if !idle {
+		return "", false
+	}
+	if !last.IsZero() && time.Since(last) < c.opt.MinInterval {
+		return "", false
+	}
+	st := c.opt.Drift()
+	if st.Window < c.opt.MinWindow {
+		return "", false
+	}
+	if th := c.opt.DriftThreshold; th > 0 {
+		drift := st.CalibrationDrift
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift >= th {
+			return fmt.Sprintf("calibration drift %.3f >= %.3f", st.CalibrationDrift, th), true
+		}
+	}
+	if th := c.opt.MAEThreshold; th > 0 && st.RegressionObbs > 0 && st.MAEMinutes >= th {
+		return fmt.Sprintf("online MAE %.1f min >= %.1f", st.MAEMinutes, th), true
+	}
+	return "", false
+}
+
+func (c *Controller) setState(state string) {
+	c.mu.Lock()
+	c.state = state
+	c.mu.Unlock()
+}
+
+// finish records a cycle's verdict and returns the controller to Idle.
+func (c *Controller) finish(verdict, errMsg string) {
+	c.mu.Lock()
+	c.state = StateIdle
+	c.lastVerdict = verdict
+	c.lastErr = errMsg
+	c.lastRetrain = time.Now()
+	c.mu.Unlock()
+}
+
+// cycle runs one full Retraining→Shadow→verdict pass.
+func (c *Controller) cycle(ctx context.Context, reason string) {
+	log := c.opt.Logger
+	c.retrains.Add(1)
+	c.setState(StateRetraining)
+	log.Info("controlplane: retraining", slog.String("reason", reason))
+
+	cand, err := c.opt.Train(ctx)
+	if err != nil || cand == nil || len(cand.Blob) == 0 || cand.Predictor == nil {
+		if err == nil {
+			err = fmt.Errorf("trainer returned no candidate")
+		}
+		c.failures.Add(1)
+		c.finish(VerdictFailed, err.Error())
+		log.Warn("controlplane: retrain failed", slog.Any("error", err))
+		return
+	}
+
+	parent := ""
+	if c.opt.IncumbentID != nil {
+		parent = c.opt.IncumbentID()
+	}
+	m, err := c.opt.Registry.Publish(cand.Blob, Manifest{
+		Parent:      parent,
+		Watermark:   cand.Watermark,
+		Samples:     cand.Samples,
+		Hyperparams: cand.Hyperparams,
+		Eval:        cand.Eval,
+		Status:      StatusShadow,
+		Note:        "trigger: " + reason,
+	})
+	if err != nil {
+		c.failures.Add(1)
+		c.finish(VerdictFailed, err.Error())
+		log.Warn("controlplane: publish failed", slog.Any("error", err))
+		return
+	}
+	c.mu.Lock()
+	c.candVer, c.candID = m.Version, m.ID
+	c.mu.Unlock()
+	log.Info("controlplane: candidate published",
+		slog.Int("version", m.Version), slog.String("id", m.ID[:12]),
+		slog.Int("samples", m.Samples), slog.Float64("offline_mae", m.Eval.MAEMinutes))
+
+	verdict, note := c.shadowPhase(ctx, m, cand)
+	switch verdict {
+	case VerdictPromoted:
+		// Status/active flip happen inside promoteAndWatch.
+	case VerdictRejected:
+		_ = c.opt.Registry.SetStatus(m.Version, StatusRejected, note)
+		c.rejections.Add(1)
+		c.finish(VerdictRejected, "")
+		log.Info("controlplane: candidate rejected",
+			slog.Int("version", m.Version), slog.String("note", note))
+	case VerdictFailed:
+		c.failures.Add(1)
+		c.finish(VerdictFailed, note)
+	}
+}
+
+// shadowPhase scores the candidate on live traffic until both trackers
+// fill their windows (or timeout/shutdown), then judges and — when the
+// candidate wins — promotes and watches the probation window.
+func (c *Controller) shadowPhase(ctx context.Context, m Manifest, cand *Candidate) (string, string) {
+	c.setState(StateShadow)
+	sr := newShadowRun(m.Version, m.ID, cand.Predictor, c.opt.CutoffMinutes, c.opt.ShadowQueue, c.opt.ShadowWindow)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go sr.loop(sctx)
+	c.shadow.Store(sr)
+	defer func() {
+		c.shadow.Store(nil)
+		c.shadowScored.Add(sr.scored.Load())
+		c.shadowDropped.Add(sr.dropped.Load())
+		c.shadowErrs.Add(sr.errs.Load())
+	}()
+
+	deadline := time.Now().Add(c.opt.ShadowTimeout)
+	tick := time.NewTicker(c.opt.CheckInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return VerdictFailed, "shutdown during shadow"
+		case <-tick.C:
+		}
+		cs, is := sr.cand.Stats(), sr.inc.Stats()
+		if cs.Window >= c.opt.ShadowWindow && is.Window >= c.opt.ShadowWindow {
+			better, note := c.judge(cs, is)
+			if !better {
+				return VerdictRejected, note
+			}
+			return c.promoteAndWatch(ctx, m, cs, note)
+		}
+		if time.Now().After(deadline) {
+			return VerdictRejected, fmt.Sprintf("shadow window never filled (cand %d, inc %d of %d)",
+				cs.Window, is.Window, c.opt.ShadowWindow)
+		}
+	}
+}
+
+// judge compares the candidate's and incumbent's shadow windows: the
+// classifier must not regress beyond the slack, and when both windows
+// contain regression outcomes, the candidate's MAE must clear the ratio.
+// With no regression outcomes on either side, hit-rate decides (candidate
+// wins ties — it was trained on fresher data).
+func (c *Controller) judge(cand, inc obs.OnlineStats) (bool, string) {
+	note := fmt.Sprintf("shadow: cand hit %.3f mae %.1f (n=%d) vs inc hit %.3f mae %.1f (n=%d)",
+		cand.HitRate, cand.MAEMinutes, cand.Window, inc.HitRate, inc.MAEMinutes, inc.Window)
+	if cand.HitRate < inc.HitRate-c.opt.HitRateSlack {
+		return false, note + ": hit-rate regressed"
+	}
+	if cand.RegressionObbs > 0 && inc.RegressionObbs > 0 {
+		if cand.MAEMinutes > inc.MAEMinutes*c.opt.MAERatio {
+			return false, note + ": MAE regressed"
+		}
+		return true, note
+	}
+	if cand.HitRate >= inc.HitRate {
+		return true, note
+	}
+	return false, note + ": hit-rate below incumbent"
+}
+
+// promoteAndWatch swaps the candidate into serving, then holds it under
+// probation: if the online MAE over the next RollbackWindow joined
+// outcomes blows past the pre-promotion level, the swap is instantly
+// reverted. Baseline captured BEFORE the swap so the comparison is
+// serving-model-attributable.
+func (c *Controller) promoteAndWatch(ctx context.Context, m Manifest, shadowStats obs.OnlineStats, note string) (string, string) {
+	log := c.opt.Logger
+	before := c.opt.Drift()
+	if err := c.opt.Promote(m, nil); err != nil {
+		return VerdictRejected, note + "; promote refused: " + err.Error()
+	}
+	_ = c.opt.Registry.SetActive(m.Version)
+	_ = c.opt.Registry.SetStatus(m.Version, StatusActive, note)
+	c.promotions.Add(1)
+	log.Info("controlplane: candidate promoted",
+		slog.Int("version", m.Version), slog.String("id", m.ID[:12]))
+
+	if c.opt.RollbackFactor <= 0 {
+		c.finish(VerdictPromoted, "")
+		return VerdictPromoted, note
+	}
+
+	// Probation: wait for RollbackWindow fresh joins, bounded by the
+	// shadow timeout (a quiet cluster should not pin the controller).
+	deadline := time.Now().Add(c.opt.ShadowTimeout)
+	tick := time.NewTicker(c.opt.CheckInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			c.finish(VerdictPromoted, "shutdown during probation")
+			return VerdictPromoted, note
+		case <-tick.C:
+		}
+		now := c.opt.Drift()
+		if now.Joined-before.Joined < uint64(c.opt.RollbackWindow) {
+			if time.Now().After(deadline) {
+				c.finish(VerdictPromoted, "")
+				return VerdictPromoted, note + "; probation window never filled"
+			}
+			continue
+		}
+		// Regression check: the post-swap online MAE must not explode
+		// relative to what the incumbent was delivering. A pre-promotion
+		// window without regression outcomes falls back to the candidate's
+		// own shadow MAE as the baseline.
+		baseline := before.MAEMinutes
+		if before.RegressionObbs == 0 {
+			baseline = shadowStats.MAEMinutes
+		}
+		if baseline > 0 && now.RegressionObbs > 0 && now.MAEMinutes > baseline*c.opt.RollbackFactor {
+			if err := c.opt.Rollback(); err != nil {
+				log.Error("controlplane: rollback failed", slog.Any("error", err))
+				c.finish(VerdictPromoted, "rollback failed: "+err.Error())
+				return VerdictPromoted, note
+			}
+			_ = c.opt.Registry.SetActive(0)
+			_ = c.opt.Registry.SetStatus(m.Version, StatusRolledBack,
+				fmt.Sprintf("online MAE %.1f > %.1f×%.1f after promotion", now.MAEMinutes, baseline, c.opt.RollbackFactor))
+			c.rollbacks.Add(1)
+			c.finish(VerdictRolledBack, "")
+			log.Warn("controlplane: promotion rolled back",
+				slog.Int("version", m.Version),
+				slog.Float64("online_mae", now.MAEMinutes),
+				slog.Float64("baseline_mae", baseline))
+			return VerdictRolledBack, note
+		}
+		c.finish(VerdictPromoted, "")
+		return VerdictPromoted, note
+	}
+}
+
+// ObserveServed captures one served prediction for shadow scoring. Cheap
+// and non-blocking when no shadow run is active (one atomic load); never
+// delays the serving path.
+func (c *Controller) ObserveServed(jobID int, snap *features.Snapshot, prob, minutes float64, long bool) {
+	if c == nil {
+		return
+	}
+	if sr := c.shadow.Load(); sr != nil {
+		sr.offer(shadowItem{jobID: jobID, snap: snap, prob: prob, minutes: minutes, long: long})
+	}
+}
+
+// ObserveStart joins a realized start event into the active shadow run
+// (no-op outside the shadow phase).
+func (c *Controller) ObserveStart(jobID int, eligible, start int64) {
+	if c == nil {
+		return
+	}
+	if sr := c.shadow.Load(); sr != nil {
+		sr.resolve(jobID, eligible, start)
+	}
+}
+
+// Status snapshots the controller for /health and admin responses.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	st := Status{
+		State:            c.state,
+		LastVerdict:      c.lastVerdict,
+		LastError:        c.lastErr,
+		CandidateVersion: c.candVer,
+		CandidateID:      c.candID,
+	}
+	if !c.lastRetrain.IsZero() {
+		st.LastRetrainUnix = c.lastRetrain.Unix()
+	}
+	c.mu.Unlock()
+	st.Retrains = c.retrains.Load()
+	st.Promotions = c.promotions.Load()
+	st.Rejections = c.rejections.Load()
+	st.Failures = c.failures.Load()
+	st.Rollbacks = c.rollbacks.Load()
+	if sr := c.shadow.Load(); sr != nil {
+		cs, is := sr.cand.Stats(), sr.inc.Stats()
+		st.CandWindow, st.IncWindow = cs.Window, is.Window
+		st.CandMAE, st.IncMAE = cs.MAEMinutes, is.MAEMinutes
+		st.CandHitRate, st.IncHitRate = cs.HitRate, is.HitRate
+	}
+	return st
+}
+
+// stateValue encodes the state for the trout_controlplane_state gauge.
+func (c *Controller) stateValue() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case StateRetraining:
+		return 1
+	case StateShadow:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Register exports the trout_controlplane_* and trout_shadow_* metric
+// families on r. Shadow gauges read through the atomic run pointer, so
+// one registration covers every future cycle.
+func (c *Controller) Register(r *obs.Registry) {
+	r.GaugeFunc("trout_controlplane_state",
+		"Control-plane lifecycle state (0=idle, 1=retraining, 2=shadow).",
+		c.stateValue)
+	r.CounterVecFunc("trout_controlplane_retrains_total",
+		"Retrain cycles completed, by outcome.", []string{"outcome"},
+		func(emit obs.Emit) {
+			emit(float64(c.promotions.Load()), VerdictPromoted)
+			emit(float64(c.rejections.Load()), VerdictRejected)
+			emit(float64(c.failures.Load()), VerdictFailed)
+			emit(float64(c.rollbacks.Load()), VerdictRolledBack)
+		})
+	r.GaugeFunc("trout_controlplane_last_retrain_unix",
+		"When the last retrain cycle finished (unix seconds; 0 = never).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.lastRetrain.IsZero() {
+				return 0
+			}
+			return float64(c.lastRetrain.Unix())
+		})
+	r.GaugeFunc("trout_controlplane_registry_versions",
+		"Model versions recorded in the registry manifest.",
+		func() float64 { return float64(len(c.opt.Registry.List())) })
+	r.GaugeFunc("trout_controlplane_registry_active_version",
+		"Registry version currently active (0 = boot bundle).",
+		func() float64 { return float64(c.opt.Registry.ActiveVersion()) })
+
+	shadowCount := func(live func(*shadowRun) uint64, total *atomic.Uint64) func() float64 {
+		return func() float64 {
+			n := total.Load()
+			if sr := c.shadow.Load(); sr != nil {
+				n += live(sr)
+			}
+			return float64(n)
+		}
+	}
+	r.CounterFunc("trout_shadow_scored_total",
+		"Live predictions replayed through a shadow candidate.",
+		shadowCount(func(sr *shadowRun) uint64 { return sr.scored.Load() }, &c.shadowScored))
+	r.CounterFunc("trout_shadow_dropped_total",
+		"Shadow samples dropped because the scoring queue was full.",
+		shadowCount(func(sr *shadowRun) uint64 { return sr.dropped.Load() }, &c.shadowDropped))
+	r.CounterFunc("trout_shadow_errors_total",
+		"Shadow candidate predictions that errored.",
+		shadowCount(func(sr *shadowRun) uint64 { return sr.errs.Load() }, &c.shadowErrs))
+	shadowStat := func(sel func(cand, inc obs.OnlineStats) float64) func(obs.Emit) {
+		return func(emit obs.Emit) {
+			sr := c.shadow.Load()
+			if sr == nil {
+				emit(0, "candidate")
+				emit(0, "incumbent")
+				return
+			}
+			cs, is := sr.cand.Stats(), sr.inc.Stats()
+			emit(sel(cs, is), "candidate")
+			emit(sel(is, cs), "incumbent")
+		}
+	}
+	r.GaugeVecFunc("trout_shadow_window_size",
+		"Joined outcomes in each shadow tracker's rolling window.", []string{"role"},
+		shadowStat(func(a, _ obs.OnlineStats) float64 { return float64(a.Window) }))
+	r.GaugeVecFunc("trout_shadow_mae_minutes",
+		"Rolling shadow MAE (minutes) per role.", []string{"role"},
+		shadowStat(func(a, _ obs.OnlineStats) float64 { return a.MAEMinutes }))
+	r.GaugeVecFunc("trout_shadow_hit_rate",
+		"Rolling shadow classifier hit-rate per role.", []string{"role"},
+		shadowStat(func(a, _ obs.OnlineStats) float64 { return a.HitRate }))
+}

@@ -1,0 +1,277 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/obs"
+)
+
+// fakeDrift is a mutable online-stats source standing in for the serving
+// accuracy tracker.
+type fakeDrift struct {
+	mu sync.Mutex
+	st obs.OnlineStats
+}
+
+func (f *fakeDrift) get() obs.OnlineStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+func (f *fakeDrift) set(st obs.OnlineStats) {
+	f.mu.Lock()
+	f.st = st
+	f.mu.Unlock()
+}
+
+// fixedPredictor answers every shadow sample identically.
+type fixedPredictor struct {
+	prob    float64
+	minutes float64
+	long    bool
+	err     error
+}
+
+func (p fixedPredictor) ShadowPredict(*features.Snapshot) (float64, float64, bool, error) {
+	return p.prob, p.minutes, p.long, p.err
+}
+
+// ctlHarness bundles a controller with the callbacks' recorded effects.
+type ctlHarness struct {
+	ctl      *Controller
+	reg      *Registry
+	drift    *fakeDrift
+	mu       sync.Mutex
+	promoted []int
+	rolled   int
+}
+
+func (h *ctlHarness) promotions() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.promoted...)
+}
+
+func (h *ctlHarness) rollbacks() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rolled
+}
+
+// newCtlHarness builds a fast-ticking controller whose trainer emits a
+// candidate backed by the given predictor. opts mutates the defaults.
+func newCtlHarness(t *testing.T, cand Predictor, opts func(*Options)) *ctlHarness {
+	t.Helper()
+	reg, err := OpenRegistry(t.TempDir(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &ctlHarness{reg: reg, drift: &fakeDrift{}}
+	n := 0
+	o := Options{
+		Registry: reg,
+		Train: func(context.Context) (*Candidate, error) {
+			n++
+			return &Candidate{
+				Blob:      []byte(fmt.Sprintf("candidate-blob-%d", n)),
+				Predictor: cand,
+				Samples:   100,
+				Watermark: 12345,
+			}, nil
+		},
+		Drift: h.drift.get,
+		Promote: func(m Manifest, _ []byte) error {
+			h.mu.Lock()
+			h.promoted = append(h.promoted, m.Version)
+			h.mu.Unlock()
+			return nil
+		},
+		Rollback: func() error {
+			h.mu.Lock()
+			h.rolled++
+			h.mu.Unlock()
+			return nil
+		},
+		IncumbentID:    func() string { return "" },
+		CutoffMinutes:  10,
+		CheckInterval:  2 * time.Millisecond,
+		MinWindow:      4,
+		ShadowWindow:   4,
+		RollbackFactor: -1, // probation off unless a test opts in
+	}
+	if opts != nil {
+		opts(&o)
+	}
+	ctl, err := NewController(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	return h
+}
+
+// pumpShadow feeds served-prediction/start-event pairs into the controller
+// until cond holds or the deadline passes. Every realized wait is
+// waitMinutes; the incumbent's recorded answer is (incProb, incMinutes,
+// incLong).
+func pumpShadow(t *testing.T, ctl *Controller, incProb, incMinutes float64, incLong bool, waitMinutes int64, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	id := 1_000_000
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held; status %+v", ctl.Status())
+		}
+		id++
+		ctl.ObserveServed(id, nil, incProb, incMinutes, incLong)
+		time.Sleep(time.Millisecond) // let the shadow worker dequeue before resolving
+		ctl.ObserveStart(id, 1000, 1000+waitMinutes*60)
+	}
+}
+
+func TestControllerPromotesBetterCandidate(t *testing.T) {
+	// Candidate nails the 20-minute waits; the incumbent calls them all
+	// quick-start.
+	h := newCtlHarness(t, fixedPredictor{prob: 0.95, minutes: 20, long: true}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = h.ctl.Run(ctx) }()
+
+	// Drift past the threshold with a full window: the tick should trigger
+	// a retrain on its own.
+	h.drift.set(obs.OnlineStats{Window: 10, CalibrationDrift: -0.6})
+	pumpShadow(t, h.ctl, 0.1, 0, false, 20, func() bool {
+		return h.ctl.Status().LastVerdict == VerdictPromoted
+	})
+
+	if got := h.promotions(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("promotions = %v", got)
+	}
+	if h.reg.ActiveVersion() != 1 {
+		t.Fatalf("registry active = %d", h.reg.ActiveVersion())
+	}
+	if m, _ := h.reg.Manifest(1); m.Status != StatusActive {
+		t.Fatalf("v1 status = %q", m.Status)
+	}
+	st := h.ctl.Status()
+	if st.State != StateIdle || st.Promotions != 1 || st.Retrains != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	cancel()
+	<-done
+}
+
+func TestControllerRejectsWorseCandidate(t *testing.T) {
+	// Candidate calls every long job quick-start; the incumbent is right.
+	h := newCtlHarness(t, fixedPredictor{prob: 0.1, minutes: 0, long: false}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = h.ctl.Run(ctx) }()
+
+	if ok, msg := h.ctl.TriggerRetrain(); !ok {
+		t.Fatalf("manual trigger refused: %s", msg)
+	}
+	pumpShadow(t, h.ctl, 0.9, 20, true, 20, func() bool {
+		return h.ctl.Status().LastVerdict == VerdictRejected
+	})
+
+	if got := h.promotions(); len(got) != 0 {
+		t.Fatalf("worse candidate was promoted: %v", got)
+	}
+	if h.reg.ActiveVersion() != 0 {
+		t.Fatalf("registry active = %d (incumbent must keep serving)", h.reg.ActiveVersion())
+	}
+	m, _ := h.reg.Manifest(1)
+	if m.Status != StatusRejected {
+		t.Fatalf("v1 status = %q", m.Status)
+	}
+	if m.Note == "" {
+		t.Fatal("rejection must record the shadow scores in the manifest note")
+	}
+}
+
+func TestControllerRollsBackRegressedPromotion(t *testing.T) {
+	h := newCtlHarness(t, fixedPredictor{prob: 0.95, minutes: 20, long: true}, func(o *Options) {
+		o.RollbackFactor = 1.5
+		o.RollbackWindow = 2
+	})
+	// Pre-promotion online baseline: MAE 10 over a credible window.
+	h.drift.set(obs.OnlineStats{Window: 10, Joined: 100, MAEMinutes: 10, RegressionObbs: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = h.ctl.Run(ctx) }()
+
+	if ok, msg := h.ctl.TriggerRetrain(); !ok {
+		t.Fatalf("manual trigger refused: %s", msg)
+	}
+	// Shadow-phase traffic promotes the candidate...
+	pumpShadow(t, h.ctl, 0.1, 0, false, 20, func() bool {
+		return len(h.promotions()) == 1
+	})
+	// ...then the online window fills with post-swap outcomes whose MAE
+	// blew past baseline × factor: probation must revert the swap.
+	h.drift.set(obs.OnlineStats{Window: 10, Joined: 110, MAEMinutes: 100, RegressionObbs: 5})
+	deadline := time.Now().Add(10 * time.Second)
+	for h.ctl.Status().LastVerdict != VerdictRolledBack {
+		if time.Now().After(deadline) {
+			t.Fatalf("never rolled back; status %+v", h.ctl.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h.rollbacks() != 1 {
+		t.Fatalf("rollback callback ran %d times", h.rollbacks())
+	}
+	if h.reg.ActiveVersion() != 0 {
+		t.Fatalf("registry active = %d after rollback", h.reg.ActiveVersion())
+	}
+	if m, _ := h.reg.Manifest(1); m.Status != StatusRolledBack {
+		t.Fatalf("v1 status = %q", m.Status)
+	}
+}
+
+func TestTriggerRetrainWhileBusyDeclines(t *testing.T) {
+	block := make(chan struct{})
+	h := newCtlHarness(t, fixedPredictor{}, func(o *Options) {
+		o.Train = func(ctx context.Context) (*Candidate, error) {
+			<-block
+			return nil, fmt.Errorf("aborted")
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = h.ctl.Run(ctx) }()
+
+	if ok, _ := h.ctl.TriggerRetrain(); !ok {
+		t.Fatal("first trigger refused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.ctl.Status().State != StateRetraining {
+		if time.Now().After(deadline) {
+			t.Fatal("retrain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ok, msg := h.ctl.TriggerRetrain(); ok {
+		t.Fatal("second trigger accepted while a cycle is running")
+	} else if msg == "" {
+		t.Fatal("refusal must explain itself")
+	}
+	close(block)
+	deadline = time.Now().Add(5 * time.Second)
+	for h.ctl.Status().LastVerdict != VerdictFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("failed train never recorded; status %+v", h.ctl.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := h.ctl.Status(); st.Failures != 1 || st.LastError == "" {
+		t.Fatalf("status after failed train = %+v", st)
+	}
+}

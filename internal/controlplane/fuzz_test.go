@@ -1,0 +1,44 @@
+package controlplane
+
+import (
+	"testing"
+)
+
+// FuzzManifestDecode drives DecodeManifest with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode and decode back to
+// the same semantic content (version lineage, IDs, statuses, active mark).
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte(`{"active":0,"versions":[]}`))
+	f.Add([]byte(`{"active":1,"versions":[{"version":1,"id":"` +
+		"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" +
+		`","created_unix":1700000000,"watermark":1700000000,"samples":10,` +
+		`"eval":{"mae_minutes":4.5,"mape":60,"hit_rate":0.9},"status":"active"}]}`))
+	f.Add([]byte(`{"active":9,"versions":[]}`))
+	f.Add([]byte(`{"versions":[{"version":2,"id":"zz","status":"shadow"}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"active":1,"versions":[{"version":1},{"version":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeManifest(data)
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		out, err := EncodeManifest(s)
+		if err != nil {
+			t.Fatalf("accepted set failed to re-encode: %v", err)
+		}
+		s2, err := DecodeManifest(out)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded: %s", err, out)
+		}
+		if s2.Active != s.Active || len(s2.Versions) != len(s.Versions) {
+			t.Fatalf("round-trip changed shape: %+v vs %+v", s, s2)
+		}
+		for i := range s.Versions {
+			a, b := &s.Versions[i], &s2.Versions[i]
+			if a.Version != b.Version || a.ID != b.ID || a.Status != b.Status ||
+				a.Parent != b.Parent || a.Samples != b.Samples {
+				t.Fatalf("round-trip changed version %d: %+v vs %+v", a.Version, a, b)
+			}
+		}
+	})
+}

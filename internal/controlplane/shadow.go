@@ -1,0 +1,101 @@
+package controlplane
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/features"
+	"repro/internal/obs"
+)
+
+// Predictor is what shadow scoring needs from a candidate model: one
+// prediction per snapshot, in the same (prob, minutes, long) shape the
+// serving path produces. The root package adapts its Bundle's fallback
+// chain to this.
+type Predictor interface {
+	ShadowPredict(snap *features.Snapshot) (prob, minutes float64, long bool, err error)
+}
+
+// shadowItem is one served prediction captured for shadow scoring: the
+// snapshot the incumbent answered from, plus the incumbent's answer. The
+// worker replays the snapshot through the candidate and records both
+// answers, so the two trackers see exactly the same traffic and resolve
+// against exactly the same start events.
+type shadowItem struct {
+	jobID   int
+	snap    *features.Snapshot
+	prob    float64
+	minutes float64
+	long    bool
+}
+
+// shadowRun scores one candidate against the incumbent on live traffic.
+// Feeding is strictly off the hot path: ObserveServed does one atomic
+// pointer load and a non-blocking channel send — a full queue drops the
+// sample (counted) rather than ever delaying a response.
+type shadowRun struct {
+	version   int
+	id        string
+	predictor Predictor
+	queue     chan shadowItem
+
+	// cand and inc are joined against the same start events, so their
+	// rolling windows are directly comparable.
+	cand *obs.AccuracyTracker
+	inc  *obs.AccuracyTracker
+
+	scored  atomic.Uint64
+	dropped atomic.Uint64
+	errs    atomic.Uint64
+}
+
+func newShadowRun(version int, id string, p Predictor, cutoff float64, queueCap, window int) *shadowRun {
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	return &shadowRun{
+		version:   version,
+		id:        id,
+		predictor: p,
+		queue:     make(chan shadowItem, queueCap),
+		cand:      obs.NewAccuracyTracker(cutoff, 0, window),
+		inc:       obs.NewAccuracyTracker(cutoff, 0, window),
+	}
+}
+
+// offer enqueues one served prediction without ever blocking.
+func (sr *shadowRun) offer(it shadowItem) {
+	select {
+	case sr.queue <- it:
+	default:
+		sr.dropped.Add(1)
+	}
+}
+
+// loop consumes the queue until ctx ends, scoring the candidate on each
+// captured snapshot. Candidate predictions that error are counted and the
+// sample is skipped for both trackers (recording only the incumbent would
+// skew the comparison windows apart).
+func (sr *shadowRun) loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case it := <-sr.queue:
+			prob, minutes, long, err := sr.predictor.ShadowPredict(it.snap)
+			if err != nil {
+				sr.errs.Add(1)
+				continue
+			}
+			sr.cand.Record(it.jobID, prob, minutes, long)
+			sr.inc.Record(it.jobID, it.prob, it.minutes, it.long)
+			sr.scored.Add(1)
+		}
+	}
+}
+
+// resolve joins a realized start event into both trackers.
+func (sr *shadowRun) resolve(jobID int, eligible, start int64) {
+	sr.cand.Resolve(jobID, eligible, start)
+	sr.inc.Resolve(jobID, eligible, start)
+}

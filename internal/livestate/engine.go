@@ -418,6 +418,32 @@ func (e *Engine) SeedFromTrace(tr *trace.Trace) SeedReport {
 	return rep
 }
 
+// CompletedJobs returns the realized-outcome records the engine retains:
+// terminal jobs with a full lifecycle (Eligible and Start set, so the queue
+// wait is realized; End at or past Start, so the runtime is too), sorted by
+// eligibility then ID — the same order features.Build imposes. This is the
+// continual-learning control plane's training-data source: every record's
+// Start-Eligible is a ground-truth queue wait observed by the event stream,
+// bounded by the engine's history-retention window.
+func (e *Engine) CompletedJobs() []trace.Job {
+	e.mu.RLock()
+	out := make([]trace.Job, 0, len(e.jobs))
+	for _, js := range e.jobs {
+		j := js.job
+		if js.phase == PhaseDone && j.Eligible > 0 && j.Start >= j.Eligible && j.End >= j.Start {
+			out = append(out, j)
+		}
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Eligible != out[b].Eligible {
+			return out[a].Eligible < out[b].Eligible
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
 // Now returns the engine clock (the newest event time applied).
 func (e *Engine) Now() int64 {
 	e.mu.RLock()

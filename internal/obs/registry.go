@@ -239,6 +239,21 @@ func (r *Registry) CounterVecFunc(name, help string, labels []string, fn func(em
 	r.register(&family{name: name, help: help, kind: kindCounter, labels: labels, fn: fn})
 }
 
+// InfoFunc registers an info-style gauge: a constant-1 series whose labels
+// carry identity strings (model fingerprints, version numbers) rather than
+// magnitudes — the Prometheus idiom for exporting build/model metadata. fn
+// supplies the current label values at scrape time; returning a slice of
+// the wrong length drops the sample for that scrape instead of panicking.
+func (r *Registry) InfoFunc(name, help string, labels []string, fn func() []string) {
+	r.register(&family{name: name, help: help, kind: kindGauge, labels: labels,
+		fn: func(emit Emit) {
+			vals := fn()
+			if len(vals) == len(labels) {
+				emit(1, vals...)
+			}
+		}})
+}
+
 // Histogram is a fixed-bucket distribution with Prometheus cumulative
 // ("le") exposition. Observe is lock-free: a linear bucket scan plus
 // atomic adds (bucket counts are stored non-cumulatively and cumulated

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/livestate"
 	"repro/internal/nn"
@@ -113,7 +114,20 @@ func (c *ServiceConfig) defaults() {
 // instants or jobs the engine does not track. State updates, event
 // ingestion, and predictions are safe for concurrent use.
 type Service struct {
-	bundle *Bundle
+	// serving is the bundle answering predictions right now, paired with
+	// its registry identity and replaced atomically as one unit by
+	// SwapBundle — every response is attributable to exactly one version.
+	serving atomic.Pointer[servingBundle]
+	// swapMu serializes swaps/rollbacks (readers never take it); prev is
+	// the pre-swap serving pair kept as the instant-rollback target.
+	swapMu sync.Mutex
+	prev   *servingBundle
+
+	// ctl/cpReg are set once by AttachControlPlane; handlers and the
+	// start observer feed the controller through the atomic pointers.
+	ctl   atomic.Pointer[controlplane.Controller]
+	cpReg atomic.Pointer[controlplane.Registry]
+
 	cfg    ServiceConfig
 	logger *slog.Logger
 	live   *livestate.Store
@@ -130,6 +144,7 @@ type Service struct {
 	stageLatency *obs.HistogramVec // trout_predict_stage_duration_seconds{stage}
 	tracker      *obs.AccuracyTracker
 	telemetry    *obs.TrainTelemetry
+	swapsTotal   *obs.CounterVec // trout_model_swaps_total{kind}
 
 	// Replication: every service exposes the leader-side endpoints over
 	// its own store; follower mode additionally runs a pull loop and
@@ -171,12 +186,12 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		cfg.Logf = obs.Logf(cfg.Logger)
 	}
 	s := &Service{
-		bundle: b,
 		cfg:    cfg,
 		logger: cfg.Logger,
 		live:   cfg.Live,
 		state:  initial,
 	}
+	s.serving.Store(&servingBundle{b: b})
 	s.repLeader = replication.NewLeader(s.live, replication.LeaderOptions{})
 	if cfg.LeaderURL != "" {
 		fc := cfg.Replication
@@ -294,11 +309,29 @@ func (s *Service) initTelemetry() {
 	// Online accuracy: served predictions are remembered by job ID and
 	// joined against realized queue times when the engine sees the job
 	// start — the production counterpart of the paper's offline metrics.
-	s.tracker = obs.NewAccuracyTracker(s.bundle.cutoffMinutes(), 0, 0)
+	// Start events also feed the control plane's shadow trackers (no-op
+	// until a retrain cycle is shadow-scoring a candidate).
+	s.tracker = obs.NewAccuracyTracker(s.serving.Load().b.cutoffMinutes(), 0, 0)
 	s.tracker.Register(r)
 	eng.SetStartObserver(func(jobID int, eligible, start int64) {
 		s.tracker.Resolve(jobID, eligible, start)
+		if ctl := s.ctl.Load(); ctl != nil {
+			ctl.ObserveStart(jobID, eligible, start)
+		}
 	})
+
+	// Model identity: which bundle is serving, by registry version and
+	// content fingerprint — followers export it too, so a fleet scrape
+	// shows exactly which model answers where.
+	r.InfoFunc("trout_model_info",
+		"Serving model identity (constant 1; labels carry version and SHA-256 fingerprint).",
+		[]string{"version", "fingerprint"},
+		func() []string {
+			sb := s.serving.Load()
+			return []string{strconv.Itoa(sb.version), sb.b.Fingerprint}
+		})
+	s.swapsTotal = r.CounterVec("trout_model_swaps_total",
+		"Serving-bundle swaps, by kind (promote vs rollback).", "kind")
 
 	// Admission control: decisions are pushed by the gate's hook; depth
 	// gauges are sampled at scrape time.
@@ -409,6 +442,7 @@ var metricRoutes = map[string]bool{
 	"/health": true, "/ready": true, "/predict": true, "/predict/batch": true,
 	"/state": true, "/events": true, "/features": true, "/metrics": true,
 	"/replication/wal": true, "/replication/snapshot": true, "/replication/status": true,
+	"/admin/retrain": true, "/admin/models": true, "/admin/swap": true,
 }
 
 // Handler returns the service's HTTP routes wrapped in the middleware
@@ -434,6 +468,12 @@ func (s *Service) Handler() http.Handler {
 	}
 	mux.HandleFunc("/features", s.handleFeatures)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Model-lifecycle admin surface. Registered unconditionally so the
+	// endpoints are discoverable; without an attached control plane the
+	// registry-backed ones answer 503.
+	mux.HandleFunc("/admin/retrain", s.handleAdminRetrain)
+	mux.HandleFunc("/admin/models", s.handleAdminModels)
+	mux.HandleFunc("/admin/swap", s.handleAdminSwap)
 	// Replication serving works on any node (chained followers fan out);
 	// /replication/wal answers 501 on memory-only stores.
 	s.repLeader.Register(mux)
@@ -479,10 +519,27 @@ type healthResponse struct {
 	Partitions    int               `json:"partitions"`
 	FallbackTiers map[string]uint64 `json:"fallback_tiers"`
 	Degraded      bool              `json:"degraded"`
+	// Model identifies the serving bundle (registry version + SHA-256
+	// fingerprint); followers report it too.
+	Model modelHealth `json:"model"`
+	// ControlPlane reports the retrain lifecycle (leader nodes with a
+	// control plane attached only).
+	ControlPlane *controlplane.Status `json:"control_plane,omitempty"`
 	// Live summarizes the event-sourced engine's state.
 	Live liveHealth `json:"live"`
 	// Replication reports this node's role and, for followers, lag.
 	Replication replicationHealth `json:"replication"`
+}
+
+// modelHealth is the /health model-identity section.
+type modelHealth struct {
+	// Version is the registry version serving (0 = the boot bundle).
+	Version int `json:"version"`
+	// Fingerprint is the SHA-256 of the serving bundle's gob encoding
+	// (empty for in-memory bundles that were never serialized).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Swaps counts hot-swaps since boot, by kind.
+	Swaps map[string]uint64 `json:"swaps,omitempty"`
 }
 
 // replicationHealth is the /health replication section. Leader fields are
@@ -516,6 +573,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.state.Jobs)
 	s.mu.RUnlock()
+	sb := s.serving.Load()
 	st := s.live.Engine().Stats()
 	tiers := s.tiers.Snapshot()
 	sm := s.live.Metrics()
@@ -540,14 +598,25 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 			rep.LastError = fs.LastError
 		}
 	}
+	var cpStatus *controlplane.Status
+	if ctl := s.ctl.Load(); ctl != nil {
+		cs := ctl.Status()
+		cpStatus = &cs
+	}
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        status,
-		CutoffMinutes: s.bundle.Model.Cfg.CutoffMinutes,
-		NumFeatures:   s.bundle.Model.NumInputs,
+		CutoffMinutes: sb.b.Model.Cfg.CutoffMinutes,
+		NumFeatures:   sb.b.Model.NumInputs,
 		QueueJobs:     n,
-		Partitions:    len(s.bundle.Cluster.Partitions),
+		Partitions:    len(sb.b.Cluster.Partitions),
 		FallbackTiers: tiers,
 		Degraded:      degraded,
+		Model: modelHealth{
+			Version:     sb.version,
+			Fingerprint: sb.b.Fingerprint,
+			Swaps:       s.swapsTotal.Snapshot(),
+		},
+		ControlPlane: cpStatus,
 		Live: liveHealth{
 			Now: st.Now, Pending: st.Pending, Running: st.Running,
 			Tracked: st.Tracked, Sources: s.sources.Snapshot(),
@@ -643,6 +712,11 @@ type predictResponse struct {
 	Source  string  `json:"snapshot_source"`
 	Pending int     `json:"pending_in_snapshot"`
 	Running int     `json:"running_in_snapshot"`
+	// ModelVersion/ModelID attribute the answer to exactly one serving
+	// bundle (version 0 = the boot bundle; ID is its SHA-256 fingerprint,
+	// empty for never-serialized in-memory bundles).
+	ModelVersion int    `json:"model_version"`
+	ModelID      string `json:"model_id,omitempty"`
 }
 
 // Snapshot-source names for counters and response tags.
@@ -759,7 +833,11 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sources.Inc(source)
 
-	pred, err := s.bundle.PredictWithFallbackSpans(snap, sp)
+	// One serving-bundle load covers the whole request: prediction,
+	// message cutoff, and response attribution all come from the same
+	// version even if a hot-swap lands mid-request.
+	sb := s.serving.Load()
+	pred, err := sb.b.PredictWithFallbackSpans(snap, sp)
 	if err != nil {
 		s.tiers.Inc(resilience.TierError)
 		resilience.WriteError(w, http.StatusBadRequest, err.Error())
@@ -767,14 +845,20 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tiers.Inc(pred.Tier)
 	// Remember the served answer so the online accuracy tracker can join
-	// it against the job's realized start event.
+	// it against the job's realized start event, and mirror it into the
+	// control plane's shadow scorer (no-op unless a candidate is under
+	// evaluation; never blocks).
 	s.tracker.Record(snap.Target.ID, pred.Prob, pred.Minutes, pred.Long)
+	if ctl := s.ctl.Load(); ctl != nil {
+		ctl.ObserveServed(snap.Target.ID, snap, pred.Prob, pred.Minutes, pred.Long)
+	}
 	writeJSON(w, http.StatusOK, predictResponse{
 		Long: pred.Long, Prob: pred.Prob, Minutes: pred.Minutes,
-		Message: pred.Message(s.bundle.Model.Cfg.CutoffMinutes),
+		Message: pred.Message(sb.b.Model.Cfg.CutoffMinutes),
 		Tier:    pred.Tier,
 		Source:  source,
 		Pending: len(snap.Pending), Running: len(snap.Running),
+		ModelVersion: sb.version, ModelID: sb.b.Fingerprint,
 	})
 }
 
@@ -806,6 +890,11 @@ type predictBatchResponse struct {
 	Pending int         `json:"pending_in_snapshot"`
 	Running int         `json:"running_in_snapshot"`
 	Results []batchItem `json:"results"`
+	// ModelVersion/ModelID attribute the whole batch to one serving
+	// bundle — the batch runs against a single bundle load, so no item
+	// can straddle a hot-swap.
+	ModelVersion int    `json:"model_version"`
+	ModelID      string `json:"model_id,omitempty"`
 }
 
 func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
@@ -861,10 +950,13 @@ func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		s.sources.Inc(source)
 	}
 
-	results := s.bundle.PredictBatchWithFallbackSpans(snaps, sp)
+	sb := s.serving.Load()
+	ctl := s.ctl.Load()
+	results := sb.b.PredictBatchWithFallbackSpans(snaps, sp)
 	resp := predictBatchResponse{
 		At: req.At, Source: source,
-		Results: make([]batchItem, len(results)),
+		Results:      make([]batchItem, len(results)),
+		ModelVersion: sb.version, ModelID: sb.b.Fingerprint,
 	}
 	if len(snaps) > 0 {
 		resp.Pending = len(snaps[0].Pending)
@@ -878,9 +970,12 @@ func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		s.tiers.Inc(res.Tier)
 		s.tracker.Record(req.Jobs[i].ID, res.Prob, res.Minutes, res.Long)
+		if ctl != nil {
+			ctl.ObserveServed(req.Jobs[i].ID, snaps[i], res.Prob, res.Minutes, res.Long)
+		}
 		resp.Results[i] = batchItem{
 			Long: res.Long, Prob: res.Prob, Minutes: res.Minutes,
-			Message: res.Message(s.bundle.Model.Cfg.CutoffMinutes),
+			Message: res.Message(sb.b.Model.Cfg.CutoffMinutes),
 			Tier:    res.Tier,
 		}
 	}
@@ -1002,7 +1097,7 @@ func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sources.Inc(source)
-	row, err := s.bundle.FeatureRow(snap)
+	row, err := s.serving.Load().b.FeatureRow(snap)
 	if err != nil {
 		resilience.WriteError(w, http.StatusBadRequest, err.Error())
 		return
