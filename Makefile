@@ -30,13 +30,14 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Short fuzz of the event decoder, the WAL segment reader, and the model
-# registry manifest decoder (corpus seeds + 5s of mutation each; Go allows
-# one -fuzz target per run).
+# Short fuzz of the event decoder, the WAL segment reader, the model
+# registry manifest decoder, and the forest gob decoder (corpus seeds +
+# 5s of mutation each; Go allows one -fuzz target per run).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/livestate
 	$(GO) test -run '^$$' -fuzz FuzzReadSegment -fuzztime 5s ./internal/livestate
 	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 5s ./internal/controlplane
+	$(GO) test -run '^$$' -fuzz FuzzForestGob -fuzztime 5s ./internal/baselines
 
 # Line-by-line lint of the /metrics Prometheus exposition (HELP/TYPE
 # pairing, label escaping, cumulative buckets, deterministic ordering).
@@ -69,12 +70,14 @@ bench:
 
 # Hot-path benchmark suites, archived as JSON so runs diff cleanly:
 #   BENCH_inference.json — single vs sequential-64 vs batched-64 predicts,
-#                          warm-forward allocation profile
+#                          warm-forward allocation profile, flat vs pointer
+#                          forest/GBDT ensemble walks
 #   BENCH_train.json     — tree-ensemble fits (histogram vs exact), one NN
 #                          training epoch, hyperopt search loops
 bench-json:
 	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictSequential64$$|PredictBatch64$$|ForwardAllocs$$' \
 		-benchmem . > bench_inference.txt
+	$(GO) test -run '^$$' -bench 'ForestPredict$$|GBDTPredict$$' -benchmem ./internal/baselines >> bench_inference.txt
 	$(GO) run ./cmd/benchjson -o BENCH_inference.json bench_inference.txt
 	$(GO) test -run '^$$' -bench 'ForestFit$$|GBDTFit$$' -benchmem ./internal/baselines > bench_train.txt
 	$(GO) test -run '^$$' -bench 'TrainEpoch$$' -benchmem ./internal/nn >> bench_train.txt
@@ -88,14 +91,20 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictBatch64$$|ForwardAllocs$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'HyperoptSearch' -benchtime 1x ./internal/hyperopt
 
-# Regression gate: fresh 1-shot runs of the training-path benchmarks must
-# stay within 2x of the committed BENCH_train.json baseline (benchjson
-# -check skips sub-100µs baselines as too noisy for single shots). Refresh
-# the baseline with `make bench-json` after an intentional change.
+# Regression gate, two halves. Training-path benchmarks run one shot each
+# (a fit is seconds of sample on its own); inference benchmarks run enough
+# iterations that even the sub-microsecond single-predict path accumulates
+# a >=100µs sample, so benchjson -check can gate it instead of skipping it.
+# Both must stay within 2x of their committed BENCH_*.json baseline.
+# Refresh the baselines with `make bench-json` after an intentional change.
 bench-check:
 	$(GO) test -run '^$$' -bench 'ForestFit$$|GBDTFit$$' -benchtime 1x ./internal/baselines > bench_check.txt
 	$(GO) test -run '^$$' -bench 'TrainEpoch$$' -benchtime 1x ./internal/nn >> bench_check.txt
 	$(GO) run ./cmd/benchjson -check BENCH_train.json bench_check.txt
+	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictSequential64$$|PredictBatch64$$|ForwardAllocs$$' \
+		-benchtime 200x . > bench_check.txt
+	$(GO) test -run '^$$' -bench 'ForestPredict$$|GBDTPredict$$' -benchtime 20x ./internal/baselines >> bench_check.txt
+	$(GO) run ./cmd/benchjson -check BENCH_inference.json bench_check.txt
 	rm -f bench_check.txt
 
 ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke controlplane-smoke bench-smoke bench-check

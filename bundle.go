@@ -111,6 +111,29 @@ func NewBundle(m *Model, ds *Dataset, cluster *ClusterSpec) (*Bundle, error) {
 	return b, nil
 }
 
+// EnableFastInference compiles the bundle's model onto the float32
+// serving path (transposed lane-padded weights, SSE kernels — see
+// internal/nn/infer32.go). The fallback GBDT already serves from its
+// flattened ensemble unconditionally, so this switch only concerns the
+// NN tier. Returns false and leaves the float64 path active when the
+// bundle has no model or its architecture cannot be compiled.
+func (b *Bundle) EnableFastInference() bool {
+	return b.Model != nil && b.Model.EnableFastInference()
+}
+
+// DisableFastInference reverts the model to the float64 reference path.
+func (b *Bundle) DisableFastInference() {
+	if b.Model != nil {
+		b.Model.DisableFastInference()
+	}
+}
+
+// FastInferenceEnabled reports whether the model serves from the float32
+// path.
+func (b *Bundle) FastInferenceEnabled() bool {
+	return b.Model != nil && b.Model.FastInferenceEnabled()
+}
+
 // PredictSnapshot runs Algorithm 1 on a live queue snapshot.
 func (b *Bundle) PredictSnapshot(snap *Snapshot) (Prediction, error) {
 	row, err := features.SnapshotRow(snap, &b.Cluster, b.Runtime)

@@ -29,9 +29,13 @@
 //	benchjson -check BENCH_train.json fresh.txt
 //
 // Benchmarks present on only one side are reported but never fail the
-// gate (new benchmarks land before their baseline is refreshed), and
-// baselines faster than -min-ns (default 100µs) are skipped as too noisy
-// for a 1-shot comparison.
+// gate (new benchmarks land before their baseline is refreshed). A
+// comparison is skipped as too noisy only when either side's total
+// sample time — iterations × ns/op — is below -min-sample-ns (default
+// 100µs). The old rule skipped on absolute ns/op, which permanently
+// exempted every fast benchmark from the gate no matter how long it had
+// actually measured; a 1µs op timed over 10k iterations is a 10ms
+// sample and gates fine, while a single 50µs shot is still noise.
 package main
 
 import (
@@ -69,7 +73,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	check := flag.String("check", "", "baseline JSON to compare against (regression-gate mode)")
 	tolerance := flag.Float64("tolerance", 2.0, "with -check: maximum allowed fresh/baseline ns ratio")
-	minNs := flag.Float64("min-ns", 100_000, "with -check: skip baselines faster than this (too noisy)")
+	minSampleNs := flag.Float64("min-sample-ns", 100_000, "with -check: skip comparisons where either side's iterations*ns_per_op sample is shorter than this (too noisy)")
 	flag.Parse()
 
 	doc := document{
@@ -105,7 +109,7 @@ func main() {
 		if err := json.Unmarshal(blob, &base); err != nil {
 			log.Fatalf("%s: %v", *check, err)
 		}
-		report := compareBenchmarks(base.Benchmarks, doc.Benchmarks, *tolerance, *minNs)
+		report := compareBenchmarks(base.Benchmarks, doc.Benchmarks, *tolerance, *minSampleNs)
 		for _, line := range report.lines {
 			fmt.Println(line)
 		}
@@ -133,19 +137,32 @@ type checkReport struct {
 	regressions []string
 }
 
+// sampleNs is the total measured time behind one result line:
+// iterations × ns/op. It is the quantity that decides whether a
+// comparison is statistically worth gating — a fast op timed over many
+// iterations carries as much signal as one long shot. Lines that predate
+// the iterations field count as a single iteration.
+func sampleNs(r result) float64 {
+	iters := r.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	return float64(iters) * r.NsPerOp
+}
+
 // compareBenchmarks gates fresh results against a committed baseline.
-// Repeated entries (from -count runs) collapse to the per-name minimum —
-// the cleanest estimate either side has — and only names present in both
-// documents can fail the gate.
-func compareBenchmarks(base, fresh []result, tolerance, minNs float64) checkReport {
-	bestOf := func(rs []result) map[string]float64 {
-		best := map[string]float64{}
+// Repeated entries (from -count runs) collapse to the per-name minimum
+// ns/op — the cleanest estimate either side has — and only names present
+// in both documents can fail the gate.
+func compareBenchmarks(base, fresh []result, tolerance, minSampleNs float64) checkReport {
+	bestOf := func(rs []result) map[string]result {
+		best := map[string]result{}
 		for _, r := range rs {
 			if r.NsPerOp <= 0 {
 				continue
 			}
-			if v, ok := best[r.Name]; !ok || r.NsPerOp < v {
-				best[r.Name] = r.NsPerOp
+			if v, ok := best[r.Name]; !ok || r.NsPerOp < v.NsPerOp {
+				best[r.Name] = r
 			}
 		}
 		return best
@@ -163,18 +180,19 @@ func compareBenchmarks(base, fresh []result, tolerance, minNs float64) checkRepo
 		fr := freshBest[name]
 		bs, ok := baseBest[name]
 		if !ok {
-			rep.lines = append(rep.lines, fmt.Sprintf("  new   %-40s %12.0f ns/op (no baseline)", name, fr))
+			rep.lines = append(rep.lines, fmt.Sprintf("  new   %-40s %12.0f ns/op (no baseline)", name, fr.NsPerOp))
 			continue
 		}
-		ratio := fr / bs
+		ratio := fr.NsPerOp / bs.NsPerOp
 		switch {
-		case bs < minNs:
-			rep.lines = append(rep.lines, fmt.Sprintf("  skip  %-40s baseline %.0f ns/op below noise floor", name, bs))
+		case sampleNs(bs) < minSampleNs || sampleNs(fr) < minSampleNs:
+			rep.lines = append(rep.lines, fmt.Sprintf("  skip  %-40s sample %.0f ns (base) / %.0f ns (fresh) below %.0f ns floor",
+				name, sampleNs(bs), sampleNs(fr), minSampleNs))
 		case ratio > tolerance:
-			rep.lines = append(rep.lines, fmt.Sprintf("  FAIL  %-40s %12.0f ns/op vs baseline %.0f (%.2fx)", name, fr, bs, ratio))
+			rep.lines = append(rep.lines, fmt.Sprintf("  FAIL  %-40s %12.0f ns/op vs baseline %.0f (%.2fx)", name, fr.NsPerOp, bs.NsPerOp, ratio))
 			rep.regressions = append(rep.regressions, name)
 		default:
-			rep.lines = append(rep.lines, fmt.Sprintf("  ok    %-40s %12.0f ns/op vs baseline %.0f (%.2fx)", name, fr, bs, ratio))
+			rep.lines = append(rep.lines, fmt.Sprintf("  ok    %-40s %12.0f ns/op vs baseline %.0f (%.2fx)", name, fr.NsPerOp, bs.NsPerOp, ratio))
 		}
 	}
 	for name := range baseBest {

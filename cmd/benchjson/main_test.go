@@ -69,34 +69,52 @@ ok  	repro	0.341s
 
 func TestCompareBenchmarks(t *testing.T) {
 	base := []result{
-		{Name: "Stable", NsPerOp: 1e6},
-		{Name: "Regressed", NsPerOp: 1e6},
-		{Name: "Noisy", NsPerOp: 5e4}, // below the 1e5 noise floor
-		{Name: "Removed", NsPerOp: 1e6},
+		{Name: "Stable", Iterations: 1, NsPerOp: 1e6},
+		{Name: "Regressed", Iterations: 1, NsPerOp: 1e6},
+		{Name: "Noisy", Iterations: 1, NsPerOp: 5e4}, // 50µs single shot: below the 1e5 sample floor
+		{Name: "Removed", Iterations: 1, NsPerOp: 1e6},
+		// Fast op, long sample: 1µs over 10k iterations = 10ms of signal.
+		// The old absolute-ns/op floor would have skipped this forever.
+		{Name: "FastGated", Iterations: 10_000, NsPerOp: 1e3},
+		// Fresh side may also be the noisy one: solid baseline, 1-shot rerun.
+		{Name: "FreshNoisy", Iterations: 10_000, NsPerOp: 1e3},
 		// Repeated -count entries collapse to the minimum.
-		{Name: "Stable", NsPerOp: 2e6},
+		{Name: "Stable", Iterations: 1, NsPerOp: 2e6},
 	}
 	fresh := []result{
-		{Name: "Stable", NsPerOp: 1.5e6},    // 1.5x: within 2x tolerance
-		{Name: "Regressed", NsPerOp: 2.5e6}, // 2.5x: fails the gate
-		{Name: "Noisy", NsPerOp: 9e5},       // 18x but skipped (noise floor)
-		{Name: "Brand-new", NsPerOp: 1e6},   // no baseline: reported, not failed
+		{Name: "Stable", Iterations: 1, NsPerOp: 1.5e6},    // 1.5x: within 2x tolerance
+		{Name: "Regressed", Iterations: 1, NsPerOp: 2.5e6}, // 2.5x: fails the gate
+		{Name: "Noisy", Iterations: 1, NsPerOp: 9e5},       // 18x but skipped (short baseline sample)
+		{Name: "Brand-new", Iterations: 1, NsPerOp: 1e6},   // no baseline: reported, not failed
+		{Name: "FastGated", Iterations: 200, NsPerOp: 3e3}, // 3x on a 600µs sample: fails the gate
+		{Name: "FreshNoisy", Iterations: 1, NsPerOp: 9e4},  // 90x but the fresh sample is 90µs: skipped
 	}
 	rep := compareBenchmarks(base, fresh, 2.0, 1e5)
-	if len(rep.regressions) != 1 || rep.regressions[0] != "Regressed" {
-		t.Fatalf("regressions = %v, want [Regressed]", rep.regressions)
+	if len(rep.regressions) != 2 || rep.regressions[0] != "FastGated" || rep.regressions[1] != "Regressed" {
+		t.Fatalf("regressions = %v, want [FastGated Regressed]", rep.regressions)
 	}
 	joined := strings.Join(rep.lines, "\n")
-	for _, want := range []string{"ok    Stable", "FAIL  Regressed", "skip  Noisy", "new   Brand-new", "gone  Removed"} {
+	for _, want := range []string{"ok    Stable", "FAIL  Regressed", "skip  Noisy", "new   Brand-new",
+		"gone  Removed", "FAIL  FastGated", "skip  FreshNoisy"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("report missing %q:\n%s", want, joined)
 		}
 	}
 }
 
+func TestSampleNs(t *testing.T) {
+	if got := sampleNs(result{Iterations: 100, NsPerOp: 1e3}); got != 1e5 {
+		t.Fatalf("sampleNs = %v, want 1e5", got)
+	}
+	// Legacy documents without the iterations field count as one shot.
+	if got := sampleNs(result{NsPerOp: 7e4}); got != 7e4 {
+		t.Fatalf("zero-iteration sampleNs = %v, want 7e4", got)
+	}
+}
+
 func TestCompareBenchmarksAllClean(t *testing.T) {
-	base := []result{{Name: "A", NsPerOp: 1e6}}
-	fresh := []result{{Name: "A", NsPerOp: 0.8e6}} // got faster
+	base := []result{{Name: "A", Iterations: 1, NsPerOp: 1e6}}
+	fresh := []result{{Name: "A", Iterations: 1, NsPerOp: 0.8e6}} // got faster
 	if rep := compareBenchmarks(base, fresh, 2.0, 1e5); len(rep.regressions) != 0 {
 		t.Fatalf("unexpected regressions: %v", rep.regressions)
 	}

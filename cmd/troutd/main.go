@@ -81,6 +81,7 @@ func main() {
 		maxBadRows     = flag.Int("max-bad-rows", 100, "malformed-record budget for trace ingestion (-1 = unlimited)")
 		maxBatch       = flag.Int("max-batch", 256, "maximum jobs per /predict/batch request (-1 = unlimited)")
 		shutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window after SIGINT/SIGTERM")
+		fastInference  = flag.Bool("fast-inference", true, "serve NN predictions from the float32 kernel path (falls back to float64 if the model cannot compile)")
 
 		walDir     = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
 		ckptEvery  = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
@@ -161,6 +162,7 @@ func main() {
 		Admission: resilience.AdmissionConfig{
 			MaxInFlight: *admitInflight, MaxQueue: *admitQueue, QueueTimeout: *admitTimeout,
 		},
+		FastInference: *fastInference,
 	})
 	if err != nil {
 		fatal("build service", err)

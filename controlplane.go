@@ -53,6 +53,7 @@ func (s *Service) SwapBundle(b *Bundle, version int) error {
 	if err := b.CompatibleWith(cur.b); err != nil {
 		return err
 	}
+	s.applyFastInference(b)
 	s.prev = cur
 	s.serving.Store(&servingBundle{b: b, version: version})
 	s.swapsTotal.Inc("promote")

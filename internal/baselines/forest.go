@@ -53,6 +53,9 @@ func (c *ForestConfig) defaults(dim int) {
 type Forest struct {
 	Cfg   ForestConfig
 	trees []*Tree
+	// ens is the concatenated flat serving form of all trees, rebuilt
+	// after every Fit and gob load (see flat.go).
+	ens *flatEnsemble
 }
 
 // NewForest returns an untrained forest.
@@ -121,19 +124,52 @@ func (f *Forest) Fit(X [][]float64, y []float64) error {
 			return err
 		}
 	}
+	f.ens = newFlatEnsemble(f.trees)
 	return nil
 }
 
-// Predict implements Regressor: the mean of tree predictions.
+// Predict implements Regressor: the mean of tree predictions. NaN-free
+// rows take the eight-lane ensemble walk; rows with a NaN go through the
+// per-tree scalar walk, which implements the consulted-feature NaN
+// contract. Both produce bit-identical results.
 func (f *Forest) Predict(x []float64) float64 {
 	if len(f.trees) == 0 {
 		return 0
+	}
+	if f.ens != nil && !rowHasNaN(x) {
+		return f.ens.addRow(x, 1, 0) / float64(len(f.trees))
 	}
 	var s float64
 	for _, t := range f.trees {
 		s += t.Predict(x)
 	}
 	return s / float64(len(f.trees))
+}
+
+// PredictBatch implements BatchRegressor; predictions are bit-identical
+// to per-row Predict. Batches take the group-outer addBatch walk (better
+// node locality than per-row addRow); rows containing NaN are recomputed
+// through the scalar chain afterwards.
+func (f *Forest) PredictBatch(X [][]float64, out []float64) {
+	if f.ens == nil {
+		for i, x := range X {
+			out[i] = f.Predict(x)
+		}
+		return
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	f.ens.addBatch(X, 1, out)
+	inv := float64(len(f.trees))
+	for i := range out {
+		out[i] /= inv
+	}
+	for i, x := range X {
+		if rowHasNaN(x) {
+			out[i] = f.Predict(x)
+		}
+	}
 }
 
 // GBDTConfig controls gradient-boosted tree construction — the stand-in for
@@ -169,6 +205,9 @@ type GBDT struct {
 	Cfg   GBDTConfig
 	base  float64
 	trees []*Tree
+	// ens is the concatenated flat serving form of all trees, rebuilt
+	// after every Fit and gob load (see flat.go).
+	ens *flatEnsemble
 }
 
 // NewGBDT returns an untrained booster.
@@ -240,6 +279,7 @@ func (g *GBDT) Fit(X [][]float64, y []float64) error {
 		g.trees = append(g.trees, tree)
 		parallelPredictAdd(pred, X, tree, g.Cfg.LearnRate)
 	}
+	g.ens = newFlatEnsemble(g.trees)
 	return nil
 }
 
@@ -254,8 +294,12 @@ func parallelPredictAdd(pred []float64, X [][]float64, tree *Tree, rate float64)
 		workers = maxW
 	}
 	if workers < 2 {
-		for i := range pred {
-			pred[i] += rate * tree.Predict(X[i])
+		if tree.flat != nil {
+			tree.flat.addMany(X, rate, pred)
+		} else {
+			for i := range pred {
+				pred[i] += rate * tree.Predict(X[i])
+			}
 		}
 		return
 	}
@@ -273,6 +317,10 @@ func parallelPredictAdd(pred []float64, X [][]float64, tree *Tree, rate float64)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			if tree.flat != nil {
+				tree.flat.addMany(X[lo:hi], rate, pred[lo:hi])
+				return
+			}
 			for i := lo; i < hi; i++ {
 				pred[i] += rate * tree.Predict(X[i])
 			}
@@ -281,13 +329,39 @@ func parallelPredictAdd(pred []float64, X [][]float64, tree *Tree, rate float64)
 	wg.Wait()
 }
 
-// Predict implements Regressor.
+// Predict implements Regressor. NaN-free rows take the eight-lane
+// ensemble walk; rows with a NaN go through the per-tree scalar walk,
+// which implements the consulted-feature NaN contract. Both produce
+// bit-identical results.
 func (g *GBDT) Predict(x []float64) float64 {
+	if g.ens != nil && !rowHasNaN(x) {
+		return g.ens.addRow(x, g.Cfg.LearnRate, g.base)
+	}
 	out := g.base
 	for _, t := range g.trees {
 		out += g.Cfg.LearnRate * t.Predict(x)
 	}
 	return out
+}
+
+// PredictBatch implements BatchRegressor; predictions are bit-identical
+// to per-row Predict. See Forest.PredictBatch.
+func (g *GBDT) PredictBatch(X [][]float64, out []float64) {
+	if g.ens == nil {
+		for i, x := range X {
+			out[i] = g.Predict(x)
+		}
+		return
+	}
+	for i := range out {
+		out[i] = g.base
+	}
+	g.ens.addBatch(X, g.Cfg.LearnRate, out)
+	for i, x := range X {
+		if rowHasNaN(x) {
+			out[i] = g.Predict(x)
+		}
+	}
 }
 
 // ClassifyProb adapts a regressor trained on 0/1 labels to a probability by

@@ -24,6 +24,11 @@ type binned struct {
 	// the last edge. A split "left = bins <= b" is therefore exactly the
 	// raw-value split "v <= edges[f][b]", which is what lets trained trees
 	// keep float thresholds (Predict and serialization are unchanged).
+	// Because every edge is an exact value from the column — never a
+	// computed midpoint — histogram thresholds cannot suffer the
+	// adjacent-float rounding hazard the exact-mode search guards against
+	// with Nextafter (see bestSplit); TestHistThresholdsAreDataValues
+	// pins this.
 	edges [][]float64
 }
 

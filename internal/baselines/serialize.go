@@ -32,22 +32,38 @@ func flatten(n *treeNode, out *[]flatNode) int {
 	return idx
 }
 
-// unflatten rebuilds the subtree rooted at idx.
-func unflatten(nodes []flatNode, idx int) (*treeNode, error) {
+// unflatten rebuilds the subtree rooted at idx. The node array comes off
+// the wire, so it is validated structurally: child indices must be in
+// range and no node may be reached twice — a cycle or shared subtree in
+// crafted input would otherwise recurse forever (the seen guard also
+// bounds recursion depth at len(nodes)). Split features must be
+// non-negative; the upper bound is checked against the tree's declared
+// dimension by the caller.
+func unflatten(nodes []flatNode, idx int, seen []bool) (*treeNode, error) {
 	if idx == -1 {
 		return nil, nil
 	}
 	if idx < 0 || idx >= len(nodes) {
 		return nil, fmt.Errorf("baselines: node index %d out of range", idx)
 	}
+	if seen[idx] {
+		return nil, fmt.Errorf("baselines: node index %d reached twice (cycle)", idx)
+	}
+	seen[idx] = true
 	f := nodes[idx]
+	if !f.Leaf && f.Feature < 0 {
+		return nil, fmt.Errorf("baselines: node %d: negative split feature %d", idx, f.Feature)
+	}
 	n := &treeNode{feature: f.Feature, threshold: f.Threshold, value: f.Value, leaf: f.Leaf}
 	var err error
-	if n.left, err = unflatten(nodes, f.Left); err != nil {
+	if n.left, err = unflatten(nodes, f.Left, seen); err != nil {
 		return nil, err
 	}
-	if n.right, err = unflatten(nodes, f.Right); err != nil {
+	if n.right, err = unflatten(nodes, f.Right, seen); err != nil {
 		return nil, err
+	}
+	if !n.leaf && (n.left == nil) != (n.right == nil) {
+		return nil, fmt.Errorf("baselines: node %d: split with a single child", idx)
 	}
 	return n, nil
 }
@@ -77,13 +93,21 @@ func (t *Tree) UnmarshalBinary(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
 		return err
 	}
-	root, err := unflatten(dto.Nodes, dto.Root)
+	root, err := unflatten(dto.Nodes, dto.Root, make([]bool, len(dto.Nodes)))
 	if err != nil {
 		return err
+	}
+	if dto.Dim > 0 {
+		for i, f := range dto.Nodes {
+			if !f.Leaf && f.Feature >= dto.Dim {
+				return fmt.Errorf("baselines: node %d: split feature %d out of range for dim %d", i, f.Feature, dto.Dim)
+			}
+		}
 	}
 	t.Cfg = dto.Cfg
 	t.dim = dto.Dim
 	t.root = root
+	t.flat = flattenTree(root)
 	return nil
 }
 
@@ -125,6 +149,7 @@ func (f *Forest) UnmarshalBinary(data []byte) error {
 		}
 		f.trees = append(f.trees, t)
 	}
+	f.ens = newFlatEnsemble(f.trees)
 	return nil
 }
 
@@ -168,5 +193,6 @@ func (g *GBDT) UnmarshalBinary(data []byte) error {
 		}
 		g.trees = append(g.trees, t)
 	}
+	g.ens = newFlatEnsemble(g.trees)
 	return nil
 }

@@ -8,6 +8,7 @@ package baselines
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -20,9 +21,25 @@ type Regressor interface {
 	Predict(x []float64) float64
 }
 
-// PredictAll applies a regressor to every row.
+// BatchRegressor is implemented by regressors with a batched predict path
+// (Forest and GBDT walk their flattened trees four rows in lockstep, which
+// overlaps the per-level load latencies a one-row walk serializes).
+type BatchRegressor interface {
+	Regressor
+	// PredictBatch fills out[i] with the prediction for X[i]; len(out)
+	// must equal len(X). Results are bit-identical to calling Predict
+	// per row.
+	PredictBatch(X [][]float64, out []float64)
+}
+
+// PredictAll applies a regressor to every row, using the batched path
+// when the regressor provides one.
 func PredictAll(r Regressor, X [][]float64) []float64 {
 	out := make([]float64, len(X))
+	if br, ok := r.(BatchRegressor); ok {
+		br.PredictBatch(X, out)
+		return out
+	}
 	for i, x := range X {
 		out[i] = r.Predict(x)
 	}
@@ -83,6 +100,10 @@ type Tree struct {
 	Cfg  TreeConfig
 	root *treeNode
 	dim  int
+	// flat is the SoA serving form, rebuilt from root after every fit and
+	// gob load (see flat.go). Predict walks it; the pointer tree stays the
+	// source of truth for training and serialization.
+	flat *flatTree
 }
 
 // NewTree returns an untrained tree.
@@ -104,10 +125,11 @@ func (t *Tree) Fit(X [][]float64, y []float64) error {
 	rng := rand.New(rand.NewSource(t.Cfg.Seed))
 	if t.Cfg.Exact {
 		t.root = t.build(X, y, idx, 0, newExactScratch(len(X), t.dim), rng)
-		return nil
+	} else {
+		sc := newHistScratch(newBinned(X, t.Cfg.Bins), y, t.Cfg.Workers)
+		t.root = t.fitBinned(sc, idx, rng)
 	}
-	sc := newHistScratch(newBinned(X, t.Cfg.Bins), y, t.Cfg.Workers)
-	t.root = t.fitBinned(sc, idx, rng)
+	t.flat = flattenTree(t.root)
 	return nil
 }
 
@@ -120,10 +142,11 @@ func (t *Tree) FitIndices(X [][]float64, y []float64, idx []int, rng *rand.Rand)
 	own := append([]int(nil), idx...)
 	if t.Cfg.Exact {
 		t.root = t.build(X, y, own, 0, newExactScratch(len(idx), t.dim), rng)
-		return nil
+	} else {
+		sc := newHistScratch(newBinned(X, t.Cfg.Bins), y, t.Cfg.Workers)
+		t.root = t.fitBinned(sc, own, rng)
 	}
-	sc := newHistScratch(newBinned(X, t.Cfg.Bins), y, t.Cfg.Workers)
-	t.root = t.fitBinned(sc, own, rng)
+	t.flat = flattenTree(t.root)
 	return nil
 }
 
@@ -138,6 +161,7 @@ func (t *Tree) fitShared(sc *histScratch, idx []int, rng *rand.Rand) error {
 	t.dim = sc.bm.cols
 	own := append([]int(nil), idx...)
 	t.root = t.fitBinned(sc, own, rng)
+	t.flat = flattenTree(t.root)
 	return nil
 }
 
@@ -264,7 +288,17 @@ func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, sc *exactScratch
 			if gain > bestGain {
 				bestGain = gain
 				feat = f
+				// Midpoint between the adjacent sorted values. For values
+				// one ulp apart (or huge values whose sum overflows) the
+				// halved sum can round up to pairs[k+1].v itself, which
+				// would leak the right-side row into the left partition
+				// (v <= thr); clamp to the largest float below it. The
+				// histogram learner is immune: its thresholds are exact
+				// data values (bin upper edges), never midpoints.
 				thr = (pairs[k].v + pairs[k+1].v) / 2
+				if thr >= pairs[k+1].v {
+					thr = math.Nextafter(pairs[k+1].v, math.Inf(-1))
+				}
 				ok = true
 			}
 		}
@@ -272,14 +306,31 @@ func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, sc *exactScratch
 	return feat, thr, ok
 }
 
-// Predict implements Regressor.
+// Predict implements Regressor, serving from the flattened form (see
+// flat.go). A NaN in any feature the walk consults yields a NaN
+// prediction rather than silently routing right — poisoned inputs must
+// surface so the serving fallback can catch them.
 func (t *Tree) Predict(x []float64) float64 {
+	if t.flat != nil {
+		return t.flat.predict(x)
+	}
+	return t.predictNode(x)
+}
+
+// predictNode is the pointer-chasing reference walk, kept for the
+// flat-vs-pointer bit-identity tests. Semantics match flatTree.predict
+// exactly, including NaN propagation.
+func (t *Tree) predictNode(x []float64) float64 {
 	n := t.root
 	if n == nil {
 		return 0
 	}
 	for !n.leaf {
-		if x[n.feature] <= n.threshold {
+		v := x[n.feature]
+		if v != v {
+			return math.NaN()
+		}
+		if v <= n.threshold {
 			n = n.left
 		} else {
 			n = n.right

@@ -280,9 +280,14 @@ func trainRegressor(ctx context.Context, X [][]float64, y []float64, dim int, cf
 	return net, nil
 }
 
-// Predict runs Algorithm 1 on one raw (unscaled) feature row.
+// Predict runs Algorithm 1 on one raw (unscaled) feature row. The scaled
+// row lives in a pooled matrix (TransformInto is bit-identical to
+// Transform), so the warm path performs zero heap allocations.
 func (m *Model) Predict(raw []float64) Prediction {
-	x := m.Scaler.Transform(raw)
+	xm := tensor.Get(1, m.NumInputs)
+	defer tensor.Put(xm)
+	scaling.TransformInto(m.Scaler, xm.Data, raw)
+	x := xm.Data
 	prob := m.Classifier.Predict1(x)
 	p := Prediction{Prob: prob, Long: prob >= 0.5}
 	if p.Long {
@@ -296,6 +301,33 @@ func (m *Model) Predict(raw []float64) Prediction {
 	return p
 }
 
+// EnableFastInference compiles both heads onto the float32 inference path
+// (transposed lane-padded weights, SSE kernels, f64-accumulating output
+// head — see internal/nn/infer32.go). Training data and the f64 training
+// path are untouched; predictions move within the documented f32
+// tolerance. Returns false and leaves the f64 path active on both heads
+// if either architecture cannot be compiled.
+func (m *Model) EnableFastInference() bool {
+	if !m.Classifier.EnableFloat32() || !m.Regressor.EnableFloat32() {
+		m.Classifier.DisableFloat32()
+		m.Regressor.DisableFloat32()
+		return false
+	}
+	return true
+}
+
+// DisableFastInference reverts both heads to the float64 path.
+func (m *Model) DisableFastInference() {
+	m.Classifier.DisableFloat32()
+	m.Regressor.DisableFloat32()
+}
+
+// FastInferenceEnabled reports whether both heads serve from the float32
+// path.
+func (m *Model) FastInferenceEnabled() bool {
+	return m.Classifier.Float32Enabled() && m.Regressor.Float32Enabled()
+}
+
 // PredictSpans is Predict with per-stage span timing (scale, classify,
 // regress) recorded into sp. A nil sp falls through to the untimed path,
 // so serving code can call this unconditionally.
@@ -304,7 +336,10 @@ func (m *Model) PredictSpans(raw []float64, sp *obs.Spans) Prediction {
 		return m.Predict(raw)
 	}
 	t0 := time.Now()
-	x := m.Scaler.Transform(raw)
+	xm := tensor.Get(1, m.NumInputs)
+	defer tensor.Put(xm)
+	scaling.TransformInto(m.Scaler, xm.Data, raw)
+	x := xm.Data
 	sp.Observe(obs.StageScale, time.Since(t0).Seconds())
 
 	t0 = time.Now()
@@ -422,8 +457,10 @@ func (m *Model) predictChunk(raw [][]float64, preds []Prediction) {
 // RegressMinutes applies only the regression head (used when the true label
 // is known, e.g. fold evaluation on the truly-long subset).
 func (m *Model) RegressMinutes(raw []float64) float64 {
-	x := m.Scaler.Transform(raw)
-	v := math.Expm1(m.Regressor.Predict1(x))
+	xm := tensor.Get(1, m.NumInputs)
+	defer tensor.Put(xm)
+	scaling.TransformInto(m.Scaler, xm.Data, raw)
+	v := math.Expm1(m.Regressor.Predict1(xm.Data))
 	if v < 0 {
 		v = 0
 	}
@@ -432,7 +469,10 @@ func (m *Model) RegressMinutes(raw []float64) float64 {
 
 // ClassifyProb returns the classifier probability for one raw row.
 func (m *Model) ClassifyProb(raw []float64) float64 {
-	return m.Classifier.Predict1(m.Scaler.Transform(raw))
+	xm := tensor.Get(1, m.NumInputs)
+	defer tensor.Put(xm)
+	scaling.TransformInto(m.Scaler, xm.Data, raw)
+	return m.Classifier.Predict1(xm.Data)
 }
 
 // modelDTO is the gob wire format of a trained bundle.

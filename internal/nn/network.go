@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -44,6 +45,11 @@ type Network struct {
 	// wsPool recycles inference workspaces so concurrent Predict calls are
 	// race-safe (each Get is exclusive) and allocation-free after warm-up.
 	wsPool sync.Pool
+
+	// f32 holds the compiled float32 inference program when EnableFloat32
+	// is active (nil otherwise). Atomic so enabling/disabling is safe
+	// against concurrent Predict calls; training stores nil.
+	f32 atomic.Pointer[prog32]
 }
 
 // NewNetwork instantiates the given architecture with weights drawn from rng.
@@ -86,8 +92,12 @@ func MLPSpecs(in int, hidden []int, out int, act, outAct ActivationKind, dropout
 	return specs
 }
 
-// Forward runs the full stack.
+// Forward runs the full stack. Always float64: with train=false this is
+// the allocating reference inference path, regardless of EnableFloat32.
 func (n *Network) Forward(in *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		n.f32.Store(nil) // weights are about to change; drop the f32 snapshot
+	}
 	x := in
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)

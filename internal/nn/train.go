@@ -91,6 +91,10 @@ func growFloats(s *[]float64, n int) []float64 {
 // workspace's next use; backward state lives in ws, so pair it with
 // BackwardTrain on the same workspace.
 func (n *Network) ForwardTrain(ws *TrainWorkspace, in *tensor.Matrix) *tensor.Matrix {
+	// Training is about to mutate weights, so any compiled float32
+	// inference program is a stale snapshot: drop it. Re-enable with
+	// EnableFloat32 once training finishes.
+	n.f32.Store(nil)
 	x := in
 	for i, l := range n.Layers {
 		switch ll := l.(type) {

@@ -19,6 +19,10 @@ type Workspace struct {
 	// bufs holds one output buffer per layer index; identity layers
 	// (inference-mode dropout) leave their slot nil.
 	bufs []*tensor.Matrix
+
+	// f32a/f32b are the ping-pong activation buffers for the compiled
+	// float32 program (see infer32.go); grown on demand like bufs.
+	f32a, f32b []float32
 }
 
 // NewWorkspace returns an empty workspace for n's architecture. Buffers are
@@ -67,10 +71,15 @@ func (n *Network) ReleaseWorkspace(ws *Workspace) {
 // PredictInto runs an inference forward pass (no dropout, running batch-norm
 // stats) writing every intermediate activation into ws. The returned matrix
 // is owned by ws: it is valid until the workspace's next use or release, so
-// copy anything that must outlive it. Results are bit-identical to
-// Forward(in, false) — the kernels and their accumulation order are the
-// same — without its per-layer allocations.
+// copy anything that must outlive it. On the default float64 path results
+// are bit-identical to Forward(in, false) — the kernels and their
+// accumulation order are the same — without its per-layer allocations;
+// with EnableFloat32 active the compiled float32 program runs instead
+// (see infer32.go for its precision policy).
 func (n *Network) PredictInto(ws *Workspace, in *tensor.Matrix) *tensor.Matrix {
+	if p := n.f32.Load(); p != nil {
+		return p.predictInto(n, ws, in)
+	}
 	x := in
 	for i, l := range n.Layers {
 		switch ll := l.(type) {

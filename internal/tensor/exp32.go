@@ -1,0 +1,118 @@
+package tensor
+
+import "math"
+
+// Fast float32 exponential for the serving-path activations (ELU, sigmoid).
+// math.Exp costs ~19ns per call on the reference core; at 64-row batch sizes
+// the regressor's ELU stack makes it the single largest line in the profile,
+// so the float32 path uses the classic Cephes expf scheme instead: round
+// x/ln2 to an integer n, evaluate a degree-6 polynomial on the reduced
+// argument, and scale by 2^n through the exponent bits. Max observed error
+// is ~2 float32 ulps over [-87, 88] (pinned by TestExp32Accuracy), well
+// inside the float32 path's documented tolerance.
+//
+// The SSE kernel (eluSSE) and the scalar functions here implement the SAME
+// sequence of float32 operations in the same order, so lanes computed by
+// either are bit-identical; every float32 multiply feeding an add is wrapped
+// in an explicit conversion so the compiler can never fuse them into an FMA
+// with a different rounding. Any change here must keep
+// TestElu32SSEMatchesGo green and must be mirrored in exp32_amd64.s.
+const (
+	exp32Log2e = float32(1.44269504088896341) // log2(e)
+	exp32C1    = float32(0.693359375)         // ln2 high part (exact in float32)
+	exp32C2    = float32(-2.12194440e-4)      // ln2 low part
+	exp32P0    = float32(1.9875691500e-4)
+	exp32P1    = float32(1.3981999507e-3)
+	exp32P2    = float32(8.3334519073e-3)
+	exp32P3    = float32(4.1665795894e-2)
+	exp32P4    = float32(1.6666665459e-1)
+	exp32P5    = float32(0.5)
+	exp32Lo    = float32(-87) // exp(-87) ~ 1.6e-38, still a normal float32
+	exp32Hi    = float32(88)  // exp(88) ~ 1.7e38, still finite in float32
+)
+
+// expCore32 evaluates e^x for x already clamped to [exp32Lo, exp32Hi].
+// NaN in yields NaN out (the n conversion takes the CVTPS2DQ
+// integer-indefinite branch and the polynomial propagates the NaN).
+func expCore32(x float32) float32 {
+	fn := x * exp32Log2e
+	// Match CVTPS2DQ: round to nearest even; NaN and out-of-range inputs
+	// produce the integer indefinite 0x80000000.
+	var n int32
+	if f := float64(fn); f != f || f >= 2147483648 || f < -2147483648 {
+		n = math.MinInt32
+	} else {
+		n = int32(math.RoundToEven(f))
+	}
+	nf := float32(n)
+	// Extended-precision argument reduction: g = x - n*ln2.
+	g := x - float32(nf*exp32C1)
+	g = g - float32(nf*exp32C2)
+	y := exp32P0
+	y = float32(y*g) + exp32P1
+	y = float32(y*g) + exp32P2
+	y = float32(y*g) + exp32P3
+	y = float32(y*g) + exp32P4
+	y = float32(y*g) + exp32P5
+	t := g * g
+	y = float32(y * t)
+	y = y + g
+	y = y + 1
+	// Scale by 2^n through the exponent field; int32 addition wraps exactly
+	// like the kernel's PADDL on the indefinite branch.
+	return y * math.Float32frombits(uint32(n+127)<<23)
+}
+
+// Exp32 is e^x in float32, clamped to the finite range [exp32Lo, exp32Hi]
+// (below it returns ~1.6e-38 instead of a denormal, above it ~1.7e38
+// instead of +Inf). NaN propagates. The clamps are written so NaN takes
+// the pass-through branch, matching MINPS/MAXPS with x in source position.
+func Exp32(x float32) float32 {
+	c := exp32Hi
+	if !(x >= exp32Hi) {
+		c = x
+	}
+	g := exp32Lo
+	if !(c <= exp32Lo) {
+		g = c
+	}
+	return expCore32(g)
+}
+
+// elu32 is the scalar replica of one eluSSE lane: ELU with alpha = 1,
+// exp(x)-1 on the non-positive side, identity on the positive side.
+// Comparisons mirror the kernel's MINPS/MAXPS/CMPPS-NLE exactly, including
+// NaN-in-source pass-through, so NaN features surface as NaN predictions.
+func elu32(x float32) float32 {
+	xc := float32(0) // min(x, 0), NaN -> x
+	if !(x >= 0) {
+		xc = x
+	}
+	g := exp32Lo // max(exp32Lo, xc), NaN -> xc
+	if !(xc <= exp32Lo) {
+		g = xc
+	}
+	res := float32(expCore32(g)) - 1
+	if !(x <= 0) { // CMPPS NLE blend: positive (or NaN) keeps x
+		res = x
+	}
+	return res
+}
+
+// EluInPlace32 applies ELU (alpha = 1) lane-wise over buf. The whole buffer
+// is processed branchlessly — callers may pass a padded activation region:
+// padding lanes hold exactly +0 and elu32(0) is exactly +0, so the padding
+// invariant survives. The SSE kernel handles the 4-lane-aligned prefix and
+// the scalar replica the tail; both produce bit-identical lanes.
+func EluInPlace32(buf []float32) {
+	i := 0
+	if haveSSE {
+		if m := len(buf) &^ 3; m > 0 {
+			eluSSE(&buf[0], int64(m))
+			i = m
+		}
+	}
+	for ; i < len(buf); i++ {
+		buf[i] = elu32(buf[i])
+	}
+}

@@ -1,0 +1,121 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Broadcast and scalar constants for the exp/ELU kernel. The first four
+// 16-byte groups are 4-lane broadcasts loaded per iteration; the scalar
+// tail is broadcast into registers once at entry. Bit patterns match the
+// exp32* constants in exp32.go exactly.
+DATA eluconst<>+0(SB)/4, $0x3F000000  // p5 = 0.5
+DATA eluconst<>+4(SB)/4, $0x3F000000
+DATA eluconst<>+8(SB)/4, $0x3F000000
+DATA eluconst<>+12(SB)/4, $0x3F000000
+DATA eluconst<>+16(SB)/4, $0xC2AE0000 // lo = -87
+DATA eluconst<>+20(SB)/4, $0xC2AE0000
+DATA eluconst<>+24(SB)/4, $0xC2AE0000
+DATA eluconst<>+28(SB)/4, $0xC2AE0000
+DATA eluconst<>+32(SB)/4, $0x3F800000 // 1.0
+DATA eluconst<>+36(SB)/4, $0x3F800000
+DATA eluconst<>+40(SB)/4, $0x3F800000
+DATA eluconst<>+44(SB)/4, $0x3F800000
+DATA eluconst<>+48(SB)/4, $0x0000007F // int32 127 (exponent bias)
+DATA eluconst<>+52(SB)/4, $0x0000007F
+DATA eluconst<>+56(SB)/4, $0x0000007F
+DATA eluconst<>+60(SB)/4, $0x0000007F
+DATA eluconst<>+64(SB)/4, $0x3FB8AA3B // log2e
+DATA eluconst<>+68(SB)/4, $0x3F318000 // C1
+DATA eluconst<>+72(SB)/4, $0xB95E8083 // C2
+DATA eluconst<>+76(SB)/4, $0x39506967 // p0
+DATA eluconst<>+80(SB)/4, $0x3AB743CE // p1
+DATA eluconst<>+84(SB)/4, $0x3C088908 // p2
+DATA eluconst<>+88(SB)/4, $0x3D2AA9C1 // p3
+DATA eluconst<>+92(SB)/4, $0x3E2AAAAA // p4
+GLOBL eluconst<>(SB), RODATA|NOPTR, $96
+
+// func eluSSE(p *float32, n int64)
+//
+// In-place ELU (alpha = 1) over n float32 lanes, n a positive multiple of
+// 4. Each 4-lane chunk is processed branchlessly: the argument is clamped
+// to (-87, 0] with NaN passing through (MINPS/MAXPS keep the source on
+// NaN), e^x is evaluated by the Cephes expf scheme — n = round(x*log2e)
+// via CVTPS2DQ, degree-6 polynomial on the reduced argument, 2^n scaling
+// through the exponent bits — and a CMPPS-NLE mask blends the identity
+// back in for positive lanes (NaN lanes blend x itself, staying NaN).
+// The scalar replica elu32 in exp32.go mirrors every operation in order;
+// TestElu32SSEMatchesGo pins the two bit-identical.
+TEXT ·eluSSE(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+
+	MOVSS  eluconst<>+64(SB), X15 // log2e
+	SHUFPS $0x00, X15, X15
+	MOVSS  eluconst<>+68(SB), X14 // C1
+	SHUFPS $0x00, X14, X14
+	MOVSS  eluconst<>+72(SB), X13 // C2
+	SHUFPS $0x00, X13, X13
+	MOVSS  eluconst<>+76(SB), X12 // p0
+	SHUFPS $0x00, X12, X12
+	MOVSS  eluconst<>+80(SB), X11 // p1
+	SHUFPS $0x00, X11, X11
+	MOVSS  eluconst<>+84(SB), X10 // p2
+	SHUFPS $0x00, X10, X10
+	MOVSS  eluconst<>+88(SB), X9  // p3
+	SHUFPS $0x00, X9, X9
+	MOVSS  eluconst<>+92(SB), X8  // p4
+	SHUFPS $0x00, X8, X8
+
+loop:
+	MOVUPS (SI), X0               // x
+	XORPS  X1, X1
+	MINPS  X0, X1                 // xc = min(x, 0); NaN -> x
+	MOVUPS eluconst<>+16(SB), X7
+	MAXPS  X1, X7                 // g = max(-87, xc); NaN -> xc
+
+	MOVAPS   X7, X1
+	MULPS    X15, X1              // fn = g*log2e
+	CVTPS2PL X1, X2               // n = roundeven(fn)
+	CVTPL2PS X2, X3               // nf = float32(n)
+	MOVAPS   X3, X4
+	MULPS    X14, X4
+	SUBPS    X4, X7               // g -= nf*C1
+	MOVAPS   X3, X4
+	MULPS    X13, X4
+	SUBPS    X4, X7               // g -= nf*C2
+
+	MOVAPS X12, X4                // y = p0
+	MULPS  X7, X4
+	ADDPS  X11, X4                // y = y*g + p1
+	MULPS  X7, X4
+	ADDPS  X10, X4                // y = y*g + p2
+	MULPS  X7, X4
+	ADDPS  X9, X4                 // y = y*g + p3
+	MULPS  X7, X4
+	ADDPS  X8, X4                 // y = y*g + p4
+	MULPS  X7, X4
+	MOVUPS eluconst<>+0(SB), X5
+	ADDPS  X5, X4                 // y = y*g + p5
+	MOVAPS X7, X5
+	MULPS  X7, X5                 // t = g*g
+	MULPS  X5, X4                 // y *= t
+	ADDPS  X7, X4                 // y += g
+	MOVUPS eluconst<>+32(SB), X5
+	ADDPS  X5, X4                 // y += 1
+
+	MOVUPS eluconst<>+48(SB), X6
+	PADDL  X6, X2                 // n + 127
+	PSLLL  $23, X2                // 2^n bit pattern
+	MULPS  X2, X4                 // e = y * 2^n
+	SUBPS  X5, X4                 // e - 1 (X5 still holds 1.0)
+
+	XORPS  X5, X5
+	MOVAPS X0, X6
+	CMPPS  X5, X6, $6             // mask = !(x <= 0), true for NaN
+	ANDPS  X6, X0                 // x where positive/NaN
+	ANDNPS X4, X6                 // e-1 where non-positive
+	ORPS   X6, X0
+	MOVUPS X0, (SI)
+
+	ADDQ $16, SI
+	SUBQ $4, CX
+	JNE  loop
+	RET

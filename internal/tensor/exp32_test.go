@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// exp32Specials are the lanes most likely to expose a divergence between
+// the SSE kernel and the scalar replica: NaN (must pass through), ±Inf,
+// signed zero, the clamp boundary, huge magnitudes that overflow the
+// n conversion, and values straddling the exp(0)=1 cancellation.
+var exp32Specials = []float32{
+	float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+	0, float32(math.Copysign(0, -1)),
+	-87, -86.999, -87.001, -200, -1e30, 1e30,
+	-1e-8, 1e-8, -0.5, 0.5, -1, 1, -20, 20, 88,
+	math.MaxFloat32, -math.MaxFloat32, 1.1754944e-38, -1.1754944e-38,
+}
+
+// TestElu32SSEMatchesGo pins the kernel contract: EluInPlace32 (SSE path
+// on amd64) and the scalar replica elu32 produce bit-identical lanes for
+// random and special values, at lengths exercising both the vector body
+// and the scalar tail.
+func TestElu32SSEMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 3, 4, 5, 8, 31, 64, 257} {
+		buf := make([]float32, n)
+		for i := range buf {
+			switch {
+			case i%7 == 3:
+				buf[i] = exp32Specials[rng.Intn(len(exp32Specials))]
+			default:
+				buf[i] = float32(rng.NormFloat64() * 10)
+			}
+		}
+		got := append([]float32(nil), buf...)
+		EluInPlace32(got)
+		for i, x := range buf {
+			want := elu32(x)
+			if math.Float32bits(want) != math.Float32bits(got[i]) {
+				t.Fatalf("n=%d lane %d: elu(%v): kernel %v (%#x), scalar %v (%#x)",
+					n, i, x, got[i], math.Float32bits(got[i]), want, math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// TestElu32Semantics checks the values the blend must get exactly right:
+// identity on positives, exact zero at zero (the padding-lane invariant),
+// saturation to -1 for very negative inputs, and NaN pass-through.
+func TestElu32Semantics(t *testing.T) {
+	for _, x := range []float32{0.5, 1, 42, 1e30, float32(math.Inf(1))} {
+		if got := elu32(x); got != x {
+			t.Fatalf("elu32(%v) = %v, want identity", x, got)
+		}
+	}
+	if got := elu32(0); math.Float32bits(got) != 0 {
+		t.Fatalf("elu32(+0) = %v (%#x), want exactly +0", got, math.Float32bits(got))
+	}
+	if got := elu32(float32(math.Copysign(0, -1))); math.Float32bits(got) != 0 {
+		t.Fatalf("elu32(-0) = %v (%#x), want exactly +0", got, math.Float32bits(got))
+	}
+	for _, x := range []float32{-200, -1e30, float32(math.Inf(-1))} {
+		got := elu32(x)
+		if math.Abs(float64(got)+1) > 1e-6 {
+			t.Fatalf("elu32(%v) = %v, want ~-1", x, got)
+		}
+	}
+	if got := elu32(float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Fatalf("elu32(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestExp32Accuracy pins the polynomial's error bound against math.Exp
+// over the clamped range: at most 4 float32 ulps (Cephes documents ~2; the
+// slack covers the argument-reduction rounding at large |x|).
+func TestExp32Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	check := func(x float32) {
+		ref := float32(math.Exp(float64(x)))
+		got := Exp32(x)
+		d := int64(math.Float32bits(ref)) - int64(math.Float32bits(got))
+		if d < 0 {
+			d = -d
+		}
+		if d > 4 {
+			t.Fatalf("Exp32(%v) = %v, want %v (%d ulps)", x, got, ref, d)
+		}
+	}
+	for x := float32(-87); x <= 88; x += 0.25 {
+		check(x)
+	}
+	for i := 0; i < 10000; i++ {
+		check(float32(rng.Float64()*175 - 87))
+	}
+	// ELU's working range gets a denser sweep.
+	for i := 0; i < 10000; i++ {
+		check(float32(-rng.ExpFloat64()))
+	}
+	if got := Exp32(0); got != 1 {
+		t.Fatalf("Exp32(0) = %v, want exactly 1", got)
+	}
+	if got := Exp32(float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Fatalf("Exp32(NaN) = %v, want NaN", got)
+	}
+	// Clamp behavior: finite at both ends, monotone direction preserved.
+	if got := Exp32(float32(math.Inf(1))); math.IsInf(float64(got), 0) || got < 1e38 {
+		t.Fatalf("Exp32(+Inf) = %v, want large finite", got)
+	}
+	if got := Exp32(float32(math.Inf(-1))); got <= 0 || got > 1e-37 {
+		t.Fatalf("Exp32(-Inf) = %v, want tiny positive", got)
+	}
+}
+
+// BenchmarkEluInPlace32 measures the kernel over one regressor-sized
+// activation region (64 rows x 128 lanes).
+func BenchmarkEluInPlace32(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	buf := make([]float32, 64*128)
+	src := make([]float32, len(buf))
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	b.SetBytes(int64(len(buf) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		EluInPlace32(buf)
+	}
+}

@@ -1,0 +1,24 @@
+//go:build amd64
+
+package tensor
+
+// haveSSE reports whether the assembly kernel is available. SSE2 is part
+// of the amd64 baseline, so no runtime feature detection is needed and a
+// plain `go build` on any amd64 host takes the vector path.
+const haveSSE = true
+
+// matmulTransB32SSE computes outs dot products of one activation row
+// against transposed weight rows (outs x inPad, both multiples of 4),
+// adds bias, applies max(lim, v) with v in the source position (lim = 0
+// fuses ReLU, lim = −Inf is the identity; NaN accumulators propagate),
+// and stores float32 results to dst.
+//
+//go:noescape
+func matmulTransB32SSE(a, wt, bias, dst *float32, outs, inPad int64, lim float32)
+
+// eluSSE applies ELU (alpha = 1) in place over n float32 lanes (n a
+// positive multiple of 4), branchlessly, with the Cephes expf polynomial.
+// Bit-identical to the scalar replica elu32.
+//
+//go:noescape
+func eluSSE(p *float32, n int64)

@@ -1,0 +1,114 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func matmulTransB32SSE(a, wt, bias, dst *float32, outs, inPad int64, lim float32)
+//
+// One activation row against outs transposed weight rows. outs and inPad
+// are multiples of 4 (callers pad with zeros, which is exact). The kernel
+// register-blocks four weight rows per pass so every a chunk is loaded
+// once per four outputs, accumulates four stride-4 partial sums per dot
+// in a single XMM register, reduces them as (s0+s2)+(s1+s3), adds bias,
+// and clamps with MAXSS lim in the destination position — ReLU when
+// lim = 0, identity when lim = -Inf, and a NaN dot always propagates
+// because MAXSS returns the source operand on NaN. The pure-Go kernel
+// matmulTransB32Go mirrors this arithmetic bit for bit.
+TEXT ·matmulTransB32SSE(SB), NOSPLIT, $0-52
+	MOVQ  a+0(FP), SI
+	MOVQ  wt+8(FP), DI
+	MOVQ  bias+16(FP), BX
+	MOVQ  dst+24(FP), DX
+	MOVQ  outs+32(FP), CX
+	MOVQ  inPad+40(FP), R8
+	MOVSS lim+48(FP), X15
+
+	// R10 = inPad*4: the byte stride of one weight row.
+	MOVQ R8, R10
+	SHLQ $2, R10
+
+outerloop:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ  SI, R11             // a cursor
+	MOVQ  DI, R12             // weight row o
+	LEAQ  (DI)(R10*1), R13    // row o+1
+	LEAQ  (DI)(R10*2), R14    // row o+2
+	LEAQ  (R13)(R10*2), R15   // row o+3
+	MOVQ  R8, AX
+
+kloop:
+	MOVUPS (R11), X8
+	MOVUPS (R12), X9
+	MULPS  X8, X9
+	ADDPS  X9, X0
+	MOVUPS (R13), X10
+	MULPS  X8, X10
+	ADDPS  X10, X1
+	MOVUPS (R14), X11
+	MULPS  X8, X11
+	ADDPS  X11, X2
+	MOVUPS (R15), X12
+	MULPS  X8, X12
+	ADDPS  X12, X3
+	ADDQ   $16, R11
+	ADDQ   $16, R12
+	ADDQ   $16, R13
+	ADDQ   $16, R14
+	ADDQ   $16, R15
+	SUBQ   $4, AX
+	JNE    kloop
+
+	// Reduce X0: lanes {s0,s1,s2,s3} -> (s0+s2)+(s1+s3), then bias+clamp.
+	MOVAPS  X0, X8
+	MOVHLPS X0, X8
+	ADDPS   X8, X0            // lane0 = s0+s2, lane1 = s1+s3
+	MOVAPS  X0, X8
+	SHUFPS  $0x55, X8, X8     // broadcast lane1
+	ADDSS   X8, X0
+	ADDSS   (BX), X0
+	MOVAPS  X15, X8
+	MAXSS   X0, X8            // max(lim, v); NaN v propagates
+	MOVSS   X8, (DX)
+
+	MOVAPS  X1, X8
+	MOVHLPS X1, X8
+	ADDPS   X8, X1
+	MOVAPS  X1, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X1
+	ADDSS   4(BX), X1
+	MOVAPS  X15, X8
+	MAXSS   X1, X8
+	MOVSS   X8, 4(DX)
+
+	MOVAPS  X2, X8
+	MOVHLPS X2, X8
+	ADDPS   X8, X2
+	MOVAPS  X2, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X2
+	ADDSS   8(BX), X2
+	MOVAPS  X15, X8
+	MAXSS   X2, X8
+	MOVSS   X8, 8(DX)
+
+	MOVAPS  X3, X8
+	MOVHLPS X3, X8
+	ADDPS   X8, X3
+	MOVAPS  X3, X8
+	SHUFPS  $0x55, X8, X8
+	ADDSS   X8, X3
+	ADDSS   12(BX), X3
+	MOVAPS  X15, X8
+	MAXSS   X3, X8
+	MOVSS   X8, 12(DX)
+
+	LEAQ (DI)(R10*4), DI      // advance four weight rows
+	ADDQ $16, BX
+	ADDQ $16, DX
+	SUBQ $4, CX
+	JNE  outerloop
+
+	RET

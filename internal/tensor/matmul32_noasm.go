@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// haveSSE is false off amd64; the portable kernel is bit-identical, so
+// nothing above this layer can observe the difference.
+const haveSSE = false
+
+// matmulTransB32SSE is never called when haveSSE is false; this stub only
+// satisfies the reference in MatMulTransBInto32.
+func matmulTransB32SSE(a, wt, bias, dst *float32, outs, inPad int64, lim float32) {
+	panic("tensor: SSE kernel called on non-amd64 build")
+}
+
+// eluSSE is never called when haveSSE is false; EluInPlace32 runs the
+// scalar replica instead.
+func eluSSE(p *float32, n int64) {
+	panic("tensor: SSE kernel called on non-amd64 build")
+}

@@ -49,9 +49,25 @@ func predictBenchModel(b *testing.B) (*core.Model, [][]float64) {
 }
 
 // BenchmarkPredictSingle is one warm Algorithm 1 pass (classifier +
-// regressor) on a single feature row.
+// regressor) on a single feature row, on the float32 serving path — the
+// ROADMAP item-5 raw-speed floor that benchjson -check gates.
 func BenchmarkPredictSingle(b *testing.B) {
 	m, rows := predictBenchModel(b)
+	if !m.EnableFastInference() {
+		b.Fatal("EnableFastInference failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkPredictSingleF64 is the same pass on the float64 reference
+// path (fast inference off), for comparison; not archived or gated.
+func BenchmarkPredictSingleF64(b *testing.B) {
+	m, rows := predictBenchModel(b)
+	m.DisableFastInference()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -60,9 +76,12 @@ func BenchmarkPredictSingle(b *testing.B) {
 }
 
 // BenchmarkPredictSequential64 is the pre-batching baseline: 64 jobs
-// answered one Predict call at a time.
+// answered one Predict call at a time (float32 path).
 func BenchmarkPredictSequential64(b *testing.B) {
 	m, rows := predictBenchModel(b)
+	if !m.EnableFastInference() {
+		b.Fatal("EnableFastInference failed")
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -73,10 +92,29 @@ func BenchmarkPredictSequential64(b *testing.B) {
 }
 
 // BenchmarkPredictBatch64 answers the same 64 jobs through the mini-batched
-// path (one classifier matmul, one regressor matmul over the long subset).
-// The acceptance comparison is ns/op here vs BenchmarkPredictSequential64.
+// path (one classifier matmul, one regressor matmul over the long subset)
+// on the float32 serving path. The acceptance comparison is ns/op here vs
+// BenchmarkPredictSequential64.
 func BenchmarkPredictBatch64(b *testing.B) {
 	m, rows := predictBenchModel(b)
+	if !m.EnableFastInference() {
+		b.Fatal("EnableFastInference failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds := m.PredictBatch(rows)
+		if len(preds) != len(rows) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+// BenchmarkPredictBatch64F64 is the batched path with fast inference off,
+// for comparison; not archived or gated.
+func BenchmarkPredictBatch64F64(b *testing.B) {
+	m, rows := predictBenchModel(b)
+	m.DisableFastInference()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -92,6 +130,7 @@ func BenchmarkPredictBatch64(b *testing.B) {
 // allocation-free after the pools warm up.
 func BenchmarkForwardAllocs(b *testing.B) {
 	m, rows := predictBenchModel(b)
+	m.DisableFastInference() // pin the f64 workspace path regardless of bench order
 	x := tensor.New(len(rows), m.NumInputs)
 	for i, r := range rows {
 		sc := m.Scaler.Transform(r)

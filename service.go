@@ -72,6 +72,12 @@ type ServiceConfig struct {
 	// The zero value enables the gate with its defaults (16 in flight,
 	// 64 queued, 1s queue timeout); MaxInFlight < 0 disables it.
 	Admission resilience.AdmissionConfig
+	// FastInference serves NN predictions from the float32 kernel path
+	// (see Bundle.EnableFastInference). Applied to the initial bundle and
+	// to every bundle promoted through SwapBundle; a model whose
+	// architecture cannot compile onto the f32 path logs a warning and
+	// keeps serving on float64.
+	FastInference bool
 }
 
 func (c *ServiceConfig) defaults() {
@@ -191,6 +197,7 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		live:   cfg.Live,
 		state:  initial,
 	}
+	s.applyFastInference(b)
 	s.serving.Store(&servingBundle{b: b})
 	s.repLeader = replication.NewLeader(s.live, replication.LeaderOptions{})
 	if cfg.LeaderURL != "" {
@@ -221,6 +228,21 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 	}
 	s.ready.Store(true)
 	return s, nil
+}
+
+// applyFastInference moves b onto the configured inference path. It is
+// called on every bundle that becomes the serving bundle (initial and
+// swapped-in), so the FastInference setting survives hot-swaps. Failure
+// to compile is not fatal: the bundle keeps serving on float64 and the
+// mismatch is logged.
+func (s *Service) applyFastInference(b *Bundle) {
+	if b == nil || !s.cfg.FastInference {
+		return
+	}
+	if !b.EnableFastInference() && s.logger != nil {
+		s.logger.Warn("fast inference requested but model did not compile onto the float32 path; serving float64",
+			slog.String("fingerprint", b.Fingerprint))
+	}
 }
 
 // StartReplication launches the follower pull loop; it runs until ctx is

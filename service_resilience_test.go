@@ -15,6 +15,8 @@ import (
 	"time"
 
 	trout "repro"
+	"repro/internal/baselines"
+	"repro/internal/features"
 	"repro/internal/resilience"
 )
 
@@ -164,6 +166,74 @@ func TestServiceHeuristicTier(t *testing.T) {
 	}
 	if c := svc.FallbackCounters(); c[resilience.TierHeuristic] != 1 {
 		t.Fatalf("counters %v", c)
+	}
+}
+
+// TestFallbackOnPoisonedInput pins the NaN-propagation bugfix end to end.
+// A poisoned *input* (a NaN feature row, here via a runtime predictor that
+// emits NaN) must never be silently served as a plausible finite number by
+// a tree tier: before the fix the pointer walk sent NaN down the right
+// child at every split (NaN <= threshold is false), so the tier-2 GBDT
+// answered garbage with a straight face instead of deferring.
+func TestFallbackOnPoisonedInput(t *testing.T) {
+	e := sharedExperiment(t)
+	b := resilientBundle(t)
+	jobID := e.Trace.Jobs[len(e.Trace.Jobs)/2].ID
+	snap, err := trout.SnapshotFromTrace(e.Trace, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The production tier-2 GBDT itself must propagate a fully poisoned row.
+	clean, err := b.FeatureRow(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nanRow := make([]float64, len(clean))
+	for i := range nanRow {
+		nanRow[i] = math.NaN()
+	}
+	if v := b.Fallback.Baseline.Predict(nanRow); !math.IsNaN(v) {
+		t.Fatalf("tier-2 GBDT served %v from an all-NaN row, want NaN", v)
+	}
+
+	// Chain level: a runtime predictor whose forest learned only NaN leaves
+	// poisons the Pred-Runtime features of every row it touches. The tiered
+	// chain must still answer — finite, in range — from a non-NN tier.
+	nanForest := baselines.NewForest(baselines.ForestConfig{Trees: 1, Tree: baselines.TreeConfig{MaxDepth: 1}})
+	if err := nanForest.Fit(
+		[][]float64{{0}, {0}, {0}, {0}},
+		[]float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+	); err != nil {
+		t.Fatal(err)
+	}
+	bCopy := *b
+	bCopy.Runtime = &features.RuntimePredictor{Forest: nanForest}
+
+	poisoned, err := bCopy.FeatureRow(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasNaN := false
+	for _, v := range poisoned {
+		if math.IsNaN(v) {
+			hasNaN = true
+			break
+		}
+	}
+	if !hasNaN {
+		t.Fatal("poisoned runtime predictor produced a NaN-free feature row; test is vacuous")
+	}
+
+	tp, err := bCopy.PredictWithFallback(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Tier == resilience.TierNN {
+		t.Fatalf("NN tier answered from a NaN feature row")
+	}
+	if math.IsNaN(tp.Prob) || math.IsNaN(tp.Minutes) || tp.Prob < 0 || tp.Prob > 1 || tp.Minutes < 0 {
+		t.Fatalf("degraded answer out of range: %+v", tp.Prediction)
 	}
 }
 
