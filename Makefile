@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke controlplane-smoke bench bench-json bench-smoke bench-check ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke controlplane-smoke serving-smoke bench bench-json bench-smoke bench-check ci clean
 
 all: build
 
@@ -60,6 +60,13 @@ controlplane-smoke:
 	$(GO) test -count=1 ./internal/controlplane
 	$(GO) test -run 'TestControlPlane|TestHotSwapHammer|TestAdminSwapCompatGuard' -count=1 .
 
+# Short in-process loadgen run against the serving hot path (snapshot
+# cache, optional coalescing, zero-alloc JSON): every response must pass
+# strict validation, the hard error rate must be exactly zero, and p99
+# must stay under a generous bound. Correctness tripwire, not a perf gate.
+serving-smoke:
+	$(GO) test -run 'TestServingSmoke' -count=1 .
+
 # Legacy O(N) snapshot scan vs the livestate engine's indexed extraction,
 # in benchstat-friendly form:
 #   make bench > new.txt && benchstat old.txt new.txt
@@ -74,6 +81,9 @@ bench:
 #                          forest/GBDT ensemble walks
 #   BENCH_train.json     — tree-ensemble fits (histogram vs exact), one NN
 #                          training epoch, hyperopt search loops
+#   BENCH_serving.json   — full HTTP /predict round trips (sequential,
+#                          parallel across procs, 64-job batch) through the
+#                          shared snapshot cache and pooled JSON path
 bench-json:
 	$(GO) test -run '^$$' -bench 'PredictSingle$$|PredictSequential64$$|PredictBatch64$$|ForwardAllocs$$' \
 		-benchmem . > bench_inference.txt
@@ -83,7 +93,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'TrainEpoch$$' -benchmem ./internal/nn >> bench_train.txt
 	$(GO) test -run '^$$' -bench 'HyperoptSearch$$|HyperoptGBDTSearch$$' -benchmem ./internal/hyperopt >> bench_train.txt
 	$(GO) run ./cmd/benchjson -o BENCH_train.json bench_train.txt
-	rm -f bench_inference.txt bench_train.txt
+	$(GO) test -run '^$$' -bench 'HTTPPredict$$|HTTPPredictParallel$$|HTTPPredictBatch64$$' \
+		-benchmem . > bench_serving.txt
+	$(GO) run ./cmd/benchjson -o BENCH_serving.json bench_serving.txt
+	rm -f bench_inference.txt bench_train.txt bench_serving.txt
 
 # One-iteration pass over the same benchmarks so CI catches bit-rot in the
 # bench harness without paying for stable measurements.
@@ -105,9 +118,12 @@ bench-check:
 		-benchtime 200x . > bench_check.txt
 	$(GO) test -run '^$$' -bench 'ForestPredict$$|GBDTPredict$$' -benchtime 20x ./internal/baselines >> bench_check.txt
 	$(GO) run ./cmd/benchjson -check BENCH_inference.json bench_check.txt
+	$(GO) test -run '^$$' -bench 'HTTPPredict$$|HTTPPredictParallel$$|HTTPPredictBatch64$$' \
+		-benchtime 20x . > bench_check.txt
+	$(GO) run ./cmd/benchjson -check BENCH_serving.json bench_check.txt
 	rm -f bench_check.txt
 
-ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke controlplane-smoke bench-smoke bench-check
+ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke controlplane-smoke serving-smoke bench-smoke bench-check
 
 clean:
 	$(GO) clean ./...

@@ -57,6 +57,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -82,6 +83,9 @@ func main() {
 		maxBatch       = flag.Int("max-batch", 256, "maximum jobs per /predict/batch request (-1 = unlimited)")
 		shutdownGrace  = flag.Duration("shutdown-grace", 15*time.Second, "drain window after SIGINT/SIGTERM")
 		fastInference  = flag.Bool("fast-inference", true, "serve NN predictions from the float32 kernel path (falls back to float64 if the model cannot compile)")
+		coalesce       = flag.Bool("coalesce", false, "collect concurrent single /predict requests into micro-batches (bit-identical answers, adds up to -coalesce-window latency)")
+		coalesceWindow = flag.Duration("coalesce-window", 200*time.Microsecond, "how long a forming /predict micro-batch waits for company before flushing")
+		coalesceMax    = flag.Int("coalesce-max", 32, "flush a /predict micro-batch early at this many requests")
 
 		walDir     = flag.String("wal-dir", "", "live-state durability directory (WAL + checkpoints); empty = memory-only")
 		ckptEvery  = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic live-state checkpoint cadence (0 disables)")
@@ -162,7 +166,10 @@ func main() {
 		Admission: resilience.AdmissionConfig{
 			MaxInFlight: *admitInflight, MaxQueue: *admitQueue, QueueTimeout: *admitTimeout,
 		},
-		FastInference: *fastInference,
+		FastInference:  *fastInference,
+		Coalesce:       *coalesce,
+		CoalesceWindow: *coalesceWindow,
+		CoalesceMax:    *coalesceMax,
 	})
 	if err != nil {
 		fatal("build service", err)
@@ -228,6 +235,12 @@ func main() {
 	// service connections. Shutdown is best-effort alongside the main drain.
 	var pprofSrv *http.Server
 	if *pprofAddr != "" {
+		// Contention profiles are free unless sampled, and the serving hot
+		// path is exactly where lock contention hides — so when profiling
+		// is on at all, sample mutex holds and blocking events too
+		// (/debug/pprof/mutex, /debug/pprof/block).
+		runtime.SetMutexProfileFraction(100) // ~1% of contended mutex events
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,139 @@
+package trout
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Coalescer flush triggers for trout_coalesce_flushes_total.
+const (
+	flushWindow = "window"
+	flushFull   = "full"
+)
+
+// coalesceReply carries one request's answer out of a flushed micro-batch:
+// the prediction plus the serving pair that computed it, so the response
+// attributes its model_version/model_id to the bundle that actually
+// answered (which may differ from what a fresh load would return if a
+// hot-swap landed while the request waited in the window).
+type coalesceReply struct {
+	res BatchResult
+	sb  *servingBundle
+}
+
+// coalesceItem is one parked /predict request: its resolved snapshot and
+// a buffered reply channel (capacity 1, so the flusher never blocks on a
+// waiter that gave up).
+type coalesceItem struct {
+	snap *Snapshot
+	ch   chan coalesceReply
+}
+
+// coalesceGroup is one forming micro-batch.
+type coalesceGroup struct {
+	items []coalesceItem
+	timer *time.Timer
+	taken bool // set under the coalescer mutex by whoever flushes
+}
+
+// coalescer collects concurrent single /predict requests into micro-
+// batches funneled through the bundle's batch path. PR 3's invariant —
+// PredictBatch is bit-identical per row to N sequential predicts — is
+// what makes this transparent: a coalesced answer is byte-for-byte the
+// answer the request would have computed alone, the requests just share
+// one serving-bundle load and one mini-batched forward pass. Off by
+// default; enabled by ServiceConfig.Coalesce / troutd -coalesce.
+type coalescer struct {
+	svc    *Service
+	window time.Duration
+	max    int
+
+	mu  sync.Mutex
+	cur *coalesceGroup
+}
+
+func newCoalescer(svc *Service, window time.Duration, max int) *coalescer {
+	return &coalescer{svc: svc, window: window, max: max}
+}
+
+// do parks the request in the forming micro-batch and returns its answer
+// once the batch flushes (window expiry or the batch filling up). The
+// caller that fills the batch runs the flush itself on its own goroutine;
+// window-expiry flushes run on the timer goroutine.
+func (c *coalescer) do(snap *Snapshot) coalesceReply {
+	it := coalesceItem{snap: snap, ch: make(chan coalesceReply, 1)}
+	c.mu.Lock()
+	g := c.cur
+	if g == nil {
+		g = &coalesceGroup{items: make([]coalesceItem, 0, c.max)}
+		g.timer = time.AfterFunc(c.window, func() { c.flush(g, flushWindow) })
+		c.cur = g
+	}
+	g.items = append(g.items, it)
+	if len(g.items) >= c.max {
+		// Full: detach and flush on this goroutine; the timer callback
+		// will find the group taken and do nothing.
+		g.taken = true
+		c.cur = nil
+		c.mu.Unlock()
+		g.timer.Stop()
+		c.run(g, flushFull)
+		return <-it.ch
+	}
+	c.mu.Unlock()
+	return <-it.ch
+}
+
+// flush claims g (idempotently — the window timer and a concurrent
+// batch-full path can race here) and runs it.
+func (c *coalescer) flush(g *coalesceGroup, reason string) {
+	c.mu.Lock()
+	if g.taken {
+		c.mu.Unlock()
+		return
+	}
+	g.taken = true
+	if c.cur == g {
+		c.cur = nil
+	}
+	c.mu.Unlock()
+	c.run(g, reason)
+}
+
+// run executes a claimed micro-batch and delivers every member's reply.
+// All replies come from one serving-bundle load — the same single-load
+// rule the uncoalesced handler follows per request, widened to the batch.
+func (c *coalescer) run(g *coalesceGroup, reason string) {
+	s := c.svc
+	if s.coalFlushes != nil {
+		s.coalFlushes.Inc(reason)
+	}
+	if s.coalDepth != nil {
+		s.coalDepth.Observe(float64(len(g.items)))
+	}
+	sb := s.serving.Load()
+	sent := 0
+	defer func() {
+		// A panic mid-batch (the batch path recovers internally, so this
+		// is belt-and-braces) must not strand waiters: answer everyone
+		// not yet replied to with an error.
+		if r := recover(); r != nil {
+			err := fmt.Errorf("predict: coalesced batch panicked: %v", r)
+			for ; sent < len(g.items); sent++ {
+				g.items[sent].ch <- coalesceReply{res: BatchResult{Err: err}, sb: sb}
+			}
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("coalesce: batch panic: %v", r)
+			}
+		}
+	}()
+	snaps := make([]*Snapshot, len(g.items))
+	for i := range g.items {
+		snaps[i] = g.items[i].snap
+	}
+	results := sb.b.PredictBatchWithFallbackSpans(snaps, nil)
+	for ; sent < len(g.items); sent++ {
+		g.items[sent].ch <- coalesceReply{res: results[sent], sb: sb}
+	}
+}

@@ -394,7 +394,7 @@ func (s *Service) handleAdminRetrain(w http.ResponseWriter, r *http.Request) {
 	if !accepted {
 		code = http.StatusConflict
 	}
-	writeJSON(w, code, map[string]any{"accepted": accepted, "message": msg})
+	s.writeJSON(w, r, code, map[string]any{"accepted": accepted, "message": msg})
 }
 
 // adminModelsResponse is the GET /admin/models payload.
@@ -421,7 +421,7 @@ func (s *Service) handleAdminModels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b, version := s.CurrentModel()
-	writeJSON(w, http.StatusOK, adminModelsResponse{
+	s.writeJSON(w, r, http.StatusOK, adminModelsResponse{
 		ServingVersion:     version,
 		ServingFingerprint: b.Fingerprint,
 		Active:             reg.ActiveVersion(),
@@ -461,7 +461,7 @@ func (s *Service) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 			_ = reg.SetActive(version)
 		}
 		b, version := s.CurrentModel()
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, r, http.StatusOK, map[string]any{
 			"serving_version": version, "serving_fingerprint": b.Fingerprint, "rolled_back": true,
 		})
 		return
@@ -496,7 +496,7 @@ func (s *Service) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 	}
 	_ = reg.SetActive(m.Version)
 	_ = reg.SetStatus(m.Version, controlplane.StatusActive, "manual swap via /admin/swap")
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"serving_version": m.Version, "serving_fingerprint": nb.Fingerprint,
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/features"
 	"repro/internal/trace"
@@ -95,6 +96,12 @@ type Engine struct {
 	// onStart, when set, observes applied start events (the online
 	// accuracy tracker's join signal). Invoked outside the engine lock.
 	onStart func(jobID int, eligible, start int64)
+	// ver counts state mutations: every successfully applied event, bulk
+	// seed, and checkpoint restore bumps it (always under e.mu, read
+	// lock-free). It is the snapshot cache's invalidation key: two reads
+	// at the same version observed identical engine state, and any WAL
+	// replay, /state reseed, or follower re-snapshot moves it.
+	ver atomic.Uint64
 }
 
 // NewEngine returns an empty engine.
@@ -190,6 +197,7 @@ func (e *Engine) apply(ev Event) error {
 		e.now = ev.Time
 		e.prune()
 	}
+	e.ver.Add(1)
 	return nil
 }
 
@@ -415,6 +423,7 @@ func (e *Engine) SeedFromTrace(tr *trace.Trace) SeedReport {
 		}
 	}
 	e.counts["seed"] += uint64(rep.Active + rep.History)
+	e.ver.Add(1)
 	return rep
 }
 
@@ -552,6 +561,17 @@ func (e *Engine) SnapshotBatch(targets []trace.Job, at int64) []*features.Snapsh
 // engine clock. Jobs the engine does not track — or that already started —
 // are the legacy trace-scan path's business, so they return an error.
 func (e *Engine) SnapshotForJob(id int) (*features.Snapshot, error) {
+	target, now, err := e.TargetForJob(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.SnapshotAt(target, now), nil
+}
+
+// TargetForJob resolves the target record and prediction instant for a
+// tracked pending job — the front half of SnapshotForJob, split out so the
+// serving layer can pair it with a cached pending/running extraction.
+func (e *Engine) TargetForJob(id int) (trace.Job, int64, error) {
 	e.mu.RLock()
 	js, ok := e.jobs[id]
 	var target trace.Job
@@ -564,12 +584,43 @@ func (e *Engine) SnapshotForJob(id int) (*features.Snapshot, error) {
 	}
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("livestate: job %d is not a tracked pending job", id)
+		return trace.Job{}, 0, fmt.Errorf("livestate: job %d is not a tracked pending job", id)
 	}
 	if target.Eligible > now {
 		now = target.Eligible
 	}
-	return e.SnapshotAt(target, now), nil
+	return target, now, nil
+}
+
+// Version returns the engine's mutation counter, lock-free. It moves on
+// every applied event, bulk seed, and checkpoint/snapshot restore; callers
+// caching derived state key it by this value.
+func (e *Engine) Version() uint64 { return e.ver.Load() }
+
+// PendingRunning extracts the cluster-wide pending/running sets at an
+// instant together with the engine version those sets correspond to (read
+// under the same lock, so the pair is consistent). The slices are the same
+// data SnapshotAt would embed; callers treat them as read-only and may
+// share them across any number of snapshots at the same (version, at).
+func (e *Engine) PendingRunning(at int64) (pending, running []trace.Job, ver uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	pending, running = e.pendingRunningLocked(at)
+	return pending, running, e.ver.Load()
+}
+
+// UserHistoryChecked extracts one user's past-day submission history at an
+// instant, but only if the engine is still at version wantVer — the caller
+// holds pending/running sets read at that version and must not pair them
+// with history from a newer state. ok=false means the engine moved on and
+// the caller's whole cached extraction is stale.
+func (e *Engine) UserHistoryChecked(user int, at int64, wantVer uint64) (hist []trace.Job, ok bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ver.Load() != wantVer {
+		return nil, false
+	}
+	return e.userHistoryLocked(user, at), true
 }
 
 // PartCounts is one partition's live queue depth.
@@ -715,6 +766,7 @@ func (e *Engine) restoreDTO(d dto) {
 		e.ring = append(e.ring, histEntry{id: h.ID, user: h.User, submit: h.Submit})
 		e.users[h.User] = append(e.users[h.User], h.ID)
 	}
+	e.ver.Add(1)
 }
 
 // endHeap is an indexed min-heap of running jobs keyed by expected end,

@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"sort"
 	"strings"
 	"sync"
@@ -40,6 +41,11 @@ type Config struct {
 	// Client overrides the HTTP client (fault tests inject transports
 	// here). Nil uses a client with Timeout 10s.
 	Client *http.Client
+	// Handler, when set, dispatches requests straight into an in-process
+	// http.Handler instead of a network client — no sockets, no listener,
+	// so smoke tests and benches measure the serving stack rather than
+	// the loopback. Overrides Client; BaseURL defaults to a placeholder.
+	Handler http.Handler
 	// Duration stops the run on wall clock; Requests stops it after a
 	// total request count. Either (or both) may be set; first wins.
 	Duration time.Duration
@@ -70,6 +76,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Handler != nil {
+		c.Client = &http.Client{Transport: handlerTransport{h: c.Handler}, Timeout: 10 * time.Second}
+		if c.BaseURL == "" {
+			c.BaseURL = "http://in-process"
+		}
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 10 * time.Second}
 	}
@@ -187,6 +199,16 @@ func StrictValidate(kind Kind, status int, retryAfter string, body []byte) error
 		}
 		return nil
 	}
+}
+
+// handlerTransport is an http.RoundTripper that serves each request from
+// an in-process handler via a response recorder.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
 }
 
 // sample is one completed request.

@@ -1,0 +1,615 @@
+package trout
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/trace"
+)
+
+// This file is the zero-allocation JSON fast path for the /predict and
+// /predict/batch hot loop. The contract, pinned by differential tests:
+//
+//   - Encoders produce output byte-identical to encoding/json's Encoder
+//     (HTML escaping on, '\n' terminator) for the fixed response shapes,
+//     or report ok=false (non-finite floats) so the caller falls back to
+//     the stdlib path and its error handling.
+//   - The request parser accepts a conservative subset of JSON — exact
+//     field names, escape-free ASCII strings, plain integer/float
+//     literals — and reports ok=false on anything else so the caller
+//     re-parses with encoding/json. Parse results on the accepted subset
+//     are identical to the stdlib's (last key wins, trailing data after
+//     the first value is ignored, matching json.Decoder semantics).
+//
+// Buffers are pooled; the appenders allocate only when a buffer grows
+// past its pooled capacity.
+
+// respBuf is a pooled response/request scratch buffer.
+type respBuf struct{ b []byte }
+
+var respBufPool = sync.Pool{
+	New: func() any { return &respBuf{b: make([]byte, 0, 4096)} },
+}
+
+func getRespBuf() *respBuf { return respBufPool.Get().(*respBuf) }
+func putRespBuf(rb *respBuf) {
+	if cap(rb.b) > 1<<20 {
+		return // don't pin pathological buffers in the pool
+	}
+	respBufPool.Put(rb)
+}
+
+// readBody drains r into rb's pooled storage and returns the body bytes
+// (valid until the buffer is returned to the pool).
+func readBody(rb *respBuf, r io.Reader) ([]byte, error) {
+	b := rb.b[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err != nil {
+			rb.b = b
+			if err == io.EOF {
+				return b, nil
+			}
+			return b, err
+		}
+	}
+}
+
+// jsonSafe marks ASCII bytes encoding/json emits verbatim inside strings
+// (with HTML escaping on): printable, not '"', '\\', '<', '>', '&'.
+var jsonSafe = [utf8.RuneSelf]bool{}
+
+func init() {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		jsonSafe[c] = true
+	}
+	for _, c := range []byte{'"', '\\', '<', '>', '&'} {
+		jsonSafe[c] = false
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, byte-identical to
+// encoding/json's default (HTML-escaping) string encoder.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				// Control chars and <, >, & as \u00xx.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			// Invalid byte: the stdlib emits the six-char escape, not a
+			// literal replacement character.
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f the way encoding/json's floatEncoder does:
+// 'f' format unless the magnitude forces scientific notation, with the
+// exponent's leading zero stripped. ok=false for non-finite values (the
+// stdlib errors on those; callers fall back to it for the error path).
+func appendJSONFloat(b []byte, f float64) ([]byte, bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return b, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, mirroring the stdlib.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, true
+}
+
+func appendJSONBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// encodePredictResponse appends v exactly as json.NewEncoder(w).Encode(v)
+// would write it (field order, omitempty, trailing newline). ok=false
+// means a non-finite float; the caller must fall back to the stdlib path.
+func encodePredictResponse(b []byte, v *predictResponse) ([]byte, bool) {
+	var ok bool
+	b = append(b, `{"long":`...)
+	b = appendJSONBool(b, v.Long)
+	b = append(b, `,"prob":`...)
+	if b, ok = appendJSONFloat(b, v.Prob); !ok {
+		return b, false
+	}
+	if v.Minutes != 0 {
+		b = append(b, `,"minutes":`...)
+		if b, ok = appendJSONFloat(b, v.Minutes); !ok {
+			return b, false
+		}
+	}
+	b = append(b, `,"message":`...)
+	b = appendJSONString(b, v.Message)
+	b = append(b, `,"tier":`...)
+	b = appendJSONString(b, v.Tier)
+	b = append(b, `,"snapshot_source":`...)
+	b = appendJSONString(b, v.Source)
+	b = append(b, `,"pending_in_snapshot":`...)
+	b = strconv.AppendInt(b, int64(v.Pending), 10)
+	b = append(b, `,"running_in_snapshot":`...)
+	b = strconv.AppendInt(b, int64(v.Running), 10)
+	b = append(b, `,"model_version":`...)
+	b = strconv.AppendInt(b, int64(v.ModelVersion), 10)
+	if v.ModelID != "" {
+		b = append(b, `,"model_id":`...)
+		b = appendJSONString(b, v.ModelID)
+	}
+	return append(b, '}', '\n'), true
+}
+
+// encodePredictBatchResponse is encodePredictResponse's batch sibling.
+func encodePredictBatchResponse(b []byte, v *predictBatchResponse) ([]byte, bool) {
+	var ok bool
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, v.At, 10)
+	b = append(b, `,"snapshot_source":`...)
+	b = appendJSONString(b, v.Source)
+	b = append(b, `,"pending_in_snapshot":`...)
+	b = strconv.AppendInt(b, int64(v.Pending), 10)
+	b = append(b, `,"running_in_snapshot":`...)
+	b = strconv.AppendInt(b, int64(v.Running), 10)
+	b = append(b, `,"results":`...)
+	if v.Results == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range v.Results {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			it := &v.Results[i]
+			b = append(b, `{"long":`...)
+			b = appendJSONBool(b, it.Long)
+			b = append(b, `,"prob":`...)
+			if b, ok = appendJSONFloat(b, it.Prob); !ok {
+				return b, false
+			}
+			if it.Minutes != 0 {
+				b = append(b, `,"minutes":`...)
+				if b, ok = appendJSONFloat(b, it.Minutes); !ok {
+					return b, false
+				}
+			}
+			if it.Message != "" {
+				b = append(b, `,"message":`...)
+				b = appendJSONString(b, it.Message)
+			}
+			if it.Tier != "" {
+				b = append(b, `,"tier":`...)
+				b = appendJSONString(b, it.Tier)
+			}
+			if it.Error != "" {
+				b = append(b, `,"error":`...)
+				b = appendJSONString(b, it.Error)
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"model_version":`...)
+	b = strconv.AppendInt(b, int64(v.ModelVersion), 10)
+	if v.ModelID != "" {
+		b = append(b, `,"model_id":`...)
+		b = appendJSONString(b, v.ModelID)
+	}
+	return append(b, '}', '\n'), true
+}
+
+// jparser is a conservative single-pass JSON reader. Any construct outside
+// its subset — escapes, non-ASCII strings, unknown or differently-cased
+// keys, floats in integer fields, null, overflow — makes it bail so the
+// caller can re-parse with encoding/json and inherit exact stdlib
+// semantics (including error text).
+type jparser struct {
+	b []byte
+	i int
+}
+
+func (p *jparser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jparser) eat(c byte) bool {
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// str reads an escape-free ASCII JSON string body. It returns a view into
+// the input: keys are compared via `switch string(bs)` (no allocation) and
+// only values that outlive the parse are copied with string().
+func (p *jparser) str() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '"' {
+			s := p.b[start:p.i]
+			p.i++
+			return s, true
+		}
+		if c == '\\' || c < 0x20 || c >= utf8.RuneSelf {
+			return nil, false // escapes / control / non-ASCII: stdlib's business
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+// num reads a numeric token; isInt reports whether it is a plain integer
+// literal (no fraction or exponent).
+func (p *jparser) num() (tok []byte, isInt, ok bool) {
+	p.ws()
+	start := p.i
+	if p.i < len(p.b) && p.b[p.i] == '-' {
+		p.i++
+	}
+	digits := 0
+	for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+		p.i++
+		digits++
+	}
+	if digits == 0 {
+		return nil, false, false
+	}
+	isInt = true
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' ||
+			(c >= '0' && c <= '9') {
+			isInt = false
+			p.i++
+			continue
+		}
+		break
+	}
+	return p.b[start:p.i], isInt, true
+}
+
+func (p *jparser) int64() (int64, bool) {
+	tok, isInt, ok := p.num()
+	if !ok || !isInt {
+		return 0, false
+	}
+	// Digit-loop parse over the token; no string conversion, no alloc.
+	neg := false
+	i := 0
+	if tok[0] == '-' {
+		neg = true
+		i = 1
+	}
+	var v int64
+	for ; i < len(tok); i++ {
+		d := int64(tok[i] - '0')
+		if v > (math.MaxInt64-d)/10 {
+			return 0, false // overflow: let the stdlib produce its error
+		}
+		v = v*10 + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+func (p *jparser) float64() (float64, bool) {
+	tok, _, ok := p.num()
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(string(tok), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+func (p *jparser) bool() (bool, bool) {
+	p.ws()
+	if len(p.b)-p.i >= 4 && string(p.b[p.i:p.i+4]) == "true" {
+		p.i += 4
+		return true, true
+	}
+	if len(p.b)-p.i >= 5 && string(p.b[p.i:p.i+5]) == "false" {
+		p.i += 5
+		return false, true
+	}
+	return false, false
+}
+
+// job parses a trace.Job object with exact-case keys. Unknown keys,
+// null, or any surprise bails.
+func (p *jparser) job(j *trace.Job) bool {
+	if !p.eat('{') {
+		return false
+	}
+	p.ws()
+	if p.eat('}') {
+		return true
+	}
+	for {
+		key, ok := p.str()
+		if !ok || !p.eat(':') {
+			return false
+		}
+		switch string(key) {
+		case "id":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.ID = int(v)
+		case "user":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.User = int(v)
+		case "partition":
+			s, ok := p.str()
+			if !ok {
+				return false
+			}
+			j.Partition = string(s)
+		case "state":
+			s, ok := p.str()
+			if !ok {
+				return false
+			}
+			j.State = trace.JobState(s)
+		case "submit":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			j.Submit = v
+		case "eligible":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			j.Eligible = v
+		case "start":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			j.Start = v
+		case "end":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			j.End = v
+		case "req_cpus":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.ReqCPUs = int(v)
+		case "req_mem_gb":
+			f, ok := p.float64()
+			if !ok {
+				return false
+			}
+			j.ReqMemGB = f
+		case "req_nodes":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.ReqNodes = int(v)
+		case "req_gpus":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.ReqGPUs = int(v)
+		case "time_limit":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			j.TimeLimit = v
+		case "priority":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			j.Priority = v
+		case "qos":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.QOS = int(v)
+		case "interactive":
+			v, ok := p.bool()
+			if !ok {
+				return false
+			}
+			j.Interactive = v
+		case "depends_on":
+			v, ok := p.int64()
+			if !ok || v > math.MaxInt32 || v < math.MinInt32 {
+				return false
+			}
+			j.DependsOn = int(v)
+		default:
+			return false
+		}
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		return p.eat('}')
+	}
+}
+
+// decodePredictRequest parses a POST /predict body. ok=false means the
+// body is outside the fast subset (NOT that it is invalid) — re-parse
+// with encoding/json. Trailing data after the object is ignored, matching
+// json.Decoder.Decode.
+func decodePredictRequest(body []byte, req *predictRequest) bool {
+	p := jparser{b: body}
+	if !p.eat('{') {
+		return false
+	}
+	p.ws()
+	if p.eat('}') {
+		return true
+	}
+	for {
+		key, ok := p.str()
+		if !ok || !p.eat(':') {
+			return false
+		}
+		switch string(key) {
+		case "at":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			req.At = v
+		case "job":
+			if !p.job(&req.Job) {
+				return false
+			}
+		default:
+			return false
+		}
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		return p.eat('}')
+	}
+}
+
+// decodePredictBatchRequest parses a POST /predict/batch body; same
+// contract as decodePredictRequest.
+func decodePredictBatchRequest(body []byte, req *predictBatchRequest) bool {
+	p := jparser{b: body}
+	if !p.eat('{') {
+		return false
+	}
+	p.ws()
+	if p.eat('}') {
+		return true
+	}
+	for {
+		key, ok := p.str()
+		if !ok || !p.eat(':') {
+			return false
+		}
+		switch string(key) {
+		case "at":
+			v, ok := p.int64()
+			if !ok {
+				return false
+			}
+			req.At = v
+		case "jobs":
+			if !p.eat('[') {
+				return false
+			}
+			p.ws()
+			req.Jobs = req.Jobs[:0]
+			if !p.eat(']') {
+				for {
+					var j trace.Job
+					if !p.job(&j) {
+						return false
+					}
+					req.Jobs = append(req.Jobs, j)
+					p.ws()
+					if p.eat(',') {
+						continue
+					}
+					if !p.eat(']') {
+						return false
+					}
+					break
+				}
+			}
+		default:
+			return false
+		}
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		return p.eat('}')
+	}
+}

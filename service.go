@@ -2,6 +2,7 @@ package trout
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -78,6 +79,20 @@ type ServiceConfig struct {
 	// architecture cannot compile onto the f32 path logs a warning and
 	// keeps serving on float64.
 	FastInference bool
+	// Coalesce collects concurrent single /predict requests into
+	// micro-batches served through the bundle's batch path (one serving-
+	// bundle load, one mini-batched NN pass). Answers are bit-identical
+	// to the uncoalesced path; the cost is up to CoalesceWindow of added
+	// latency per request. Off by default.
+	Coalesce bool
+	// CoalesceWindow is how long the first request of a micro-batch waits
+	// for company before the batch flushes. 0 means 200µs; the useful
+	// range is roughly 100–500µs (well under a scheduling quantum, far
+	// above a batched forward pass).
+	CoalesceWindow time.Duration
+	// CoalesceMax flushes a micro-batch early once it holds this many
+	// requests. 0 means 32.
+	CoalesceMax int
 }
 
 func (c *ServiceConfig) defaults() {
@@ -92,6 +107,12 @@ func (c *ServiceConfig) defaults() {
 	}
 	if c.MaxBatchJobs == 0 {
 		c.MaxBatchJobs = 256
+	}
+	if c.CoalesceWindow == 0 {
+		c.CoalesceWindow = 200 * time.Microsecond
+	}
+	if c.CoalesceMax == 0 {
+		c.CoalesceMax = 32
 	}
 }
 
@@ -160,8 +181,24 @@ type Service struct {
 	admission *resilience.Admission
 	admTotal  *obs.CounterVec // trout_admission_total{decision}
 
-	mu    sync.RWMutex
-	state *Trace
+	// Serving hot-path machinery: the shared snapshot cache (always on;
+	// keyed by the engine's mutation version, so every ingest/reseed/
+	// replay invalidates it implicitly) and the optional /predict
+	// coalescer (nil unless cfg.Coalesce).
+	snapCache   *snapCache
+	coal        *coalescer
+	cacheOps    *obs.CounterVec // trout_snapshot_cache_requests_total{result}
+	coalDepth   *obs.Histogram  // trout_coalesce_batch_size
+	coalFlushes *obs.CounterVec // trout_coalesce_flushes_total{reason}
+
+	// state is the legacy whole-trace queue state, read lock-free on the
+	// request path (the engine-or-scan decision needs no lock: each
+	// request serves from exactly one internally-consistent source, so
+	// the only requirement is that the pointer swap is atomic). stateMu
+	// serializes writers — POST /state swaps the trace and reseeds the
+	// engine as one unit relative to other uploads.
+	stateMu sync.Mutex
+	state   atomic.Pointer[Trace]
 }
 
 // NewService wraps a bundle with an initial queue state (may be empty)
@@ -195,8 +232,8 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		cfg:    cfg,
 		logger: cfg.Logger,
 		live:   cfg.Live,
-		state:  initial,
 	}
+	s.state.Store(initial)
 	s.applyFastInference(b)
 	s.serving.Store(&servingBundle{b: b})
 	s.repLeader = replication.NewLeader(s.live, replication.LeaderOptions{})
@@ -214,6 +251,10 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		s.follower = f
 	}
 	s.initTelemetry()
+	s.snapCache = newSnapCache(s.live.Engine(), s.cacheOps)
+	if cfg.Coalesce {
+		s.coal = newCoalescer(s, cfg.CoalesceWindow, cfg.CoalesceMax)
+	}
 	adm := cfg.Admission
 	if adm.OnDecision == nil {
 		adm.OnDecision = func(d string) { s.admTotal.Inc(d) }
@@ -365,6 +406,16 @@ func (s *Service) initTelemetry() {
 	r.GaugeFunc("trout_admission_queued",
 		"Ingest requests currently queued for an admission slot.",
 		func() float64 { return float64(s.admission.Queued()) })
+
+	// Serving hot path: snapshot cache effectiveness and coalescing
+	// behavior. The coalesce families stay at zero unless cfg.Coalesce.
+	s.cacheOps = r.CounterVec("trout_snapshot_cache_requests_total",
+		"Shared snapshot cache lookups, by result (hit, miss, stale retry, bypass).", "result")
+	s.coalDepth = r.Histogram("trout_coalesce_batch_size",
+		"Single /predict requests flushed per coalesced micro-batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	s.coalFlushes = r.CounterVec("trout_coalesce_flushes_total",
+		"Coalescer micro-batch flushes, by trigger (window expiry vs batch full).", "reason")
 
 	// Leader-side replication counters (what this node shipped to
 	// followers), sampled at scrape time.
@@ -592,9 +643,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	s.mu.RLock()
-	n := len(s.state.Jobs)
-	s.mu.RUnlock()
+	n := len(s.state.Load().Jobs)
 	sb := s.serving.Load()
 	st := s.live.Engine().Stats()
 	tiers := s.tiers.Snapshot()
@@ -625,7 +674,7 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		cs := ctl.Status()
 		cpStatus = &cs
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
+	s.writeJSON(w, r, http.StatusOK, healthResponse{
 		Status:        status,
 		CutoffMinutes: sb.b.Model.Cfg.CutoffMinutes,
 		NumFeatures:   sb.b.Model.NumInputs,
@@ -666,7 +715,7 @@ func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	s.writeJSON(w, r, http.StatusOK, map[string]bool{"ready": true})
 }
 
 // forwardWrites returns the follower-mode handler for the write endpoints:
@@ -748,21 +797,25 @@ const (
 )
 
 // snapshotForJob resolves a known job's queue snapshot: the live engine
-// answers for jobs it tracks as pending (O(log n + k)); anything else —
-// historical, running, or unknown to the event stream — falls back to the
-// legacy trace scan.
+// answers for jobs it tracks as pending (O(log n + k), amortized further
+// by the shared snapshot cache); anything else — historical, running, or
+// unknown to the event stream — falls back to the legacy trace scan.
 //
-// s.mu is held across both the engine query and the scan fallback so a
-// concurrent POST /state (which swaps the trace and reseeds the engine in
-// one critical section) can never serve the engine from one upload and the
-// scan from another. Lock order is always s.mu before the engine's lock.
+// The resolvers below take no service-level lock. Each request serves
+// from exactly one source, and both sources are internally consistent on
+// their own (the engine under its lock + version counter, the trace via
+// atomic pointer swap), so the old pattern of holding s.mu across the
+// engine-or-scan decision and the extraction bought nothing but
+// contention: a request that decided "engine" never touches the trace,
+// and vice versa. POST /state's linearization point is the engine reseed
+// (which bumps the engine version and thereby invalidates the snapshot
+// cache); requests racing the upload serve either the complete old state
+// or the complete new one.
 func (s *Service) snapshotForJob(jobID int) (*Snapshot, string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if snap, err := s.live.Engine().SnapshotForJob(jobID); err == nil {
-		return snap, sourceLive, nil
+	if target, at, err := s.live.Engine().TargetForJob(jobID); err == nil {
+		return s.snapCache.snapshotAt(target, at), sourceLive, nil
 	}
-	snap, err := SnapshotFromTrace(s.state, jobID)
+	snap, err := SnapshotFromTrace(s.state.Load(), jobID)
 	return snap, sourceScan, err
 }
 
@@ -771,27 +824,24 @@ func (s *Service) snapshotForJob(jobID int) (*Snapshot, string, error) {
 // its clock — the deployment case of predicting for a submission happening
 // now — while historical instants scan the legacy trace.
 func (s *Service) snapshotAt(at int64, target trace.Job) (*Snapshot, string) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if eng := s.live.Engine(); eng.Ready(at) {
-		return eng.SnapshotAt(target, at), sourceLive
+		return s.snapCache.snapshotAt(target, at), sourceLive
 	}
-	return SnapshotAtInstant(s.state, at, target), sourceScan
+	return SnapshotAtInstant(s.state.Load(), at, target), sourceScan
 }
 
 // snapshotBatch resolves snapshots for many hypothetical jobs at one
 // instant, amortizing the queue reconstruction: the live engine computes
-// pending/running once and shares them across targets; the legacy scan
-// reconstructs the instant once and stamps each target onto a copy. Either
-// way each element is identical to what snapshotAt would return for that
-// job alone.
+// pending/running once and shares them across targets (and, through the
+// snapshot cache, across requests); the legacy scan reconstructs the
+// instant once and stamps each target onto a copy. Either way each
+// element is identical to what snapshotAt would return for that job
+// alone.
 func (s *Service) snapshotBatch(at int64, jobs []trace.Job) ([]*Snapshot, string) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if eng := s.live.Engine(); eng.Ready(at) {
-		return eng.SnapshotBatch(jobs, at), sourceLive
+		return s.snapCache.snapshotBatch(jobs, at), sourceLive
 	}
-	base := SnapshotAtInstant(s.state, at, trace.Job{})
+	base := SnapshotAtInstant(s.state.Load(), at, trace.Job{})
 	snaps := make([]*Snapshot, len(jobs))
 	for i, j := range jobs {
 		sc := *base
@@ -821,10 +871,23 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		snap, source = sn, src
 	case http.MethodPost:
-		var req predictRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rb := getRespBuf()
+		defer putRespBuf(rb)
+		body, err := readBody(rb, r.Body)
+		if err != nil {
 			resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("predict: bad body: %v", err))
 			return
+		}
+		var req predictRequest
+		if !decodePredictRequest(body, &req) {
+			// Outside the fast subset (or malformed): restart from zero and
+			// let encoding/json rule — identical semantics and error text to
+			// the pre-fast-path decoder.
+			req = predictRequest{}
+			if err := json.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+				resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("predict: bad body: %v", err))
+				return
+			}
 		}
 		if req.At == 0 {
 			resilience.WriteError(w, http.StatusBadRequest, "predict: need at (unix seconds)")
@@ -857,9 +920,19 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	// One serving-bundle load covers the whole request: prediction,
 	// message cutoff, and response attribution all come from the same
-	// version even if a hot-swap lands mid-request.
-	sb := s.serving.Load()
-	pred, err := sb.b.PredictWithFallbackSpans(snap, sp)
+	// version even if a hot-swap lands mid-request. Under coalescing the
+	// load happens in the flusher and arrives with the reply, so the
+	// attribution names the bundle that actually computed the answer.
+	var sb *servingBundle
+	var pred TieredPrediction
+	var err error
+	if s.coal != nil {
+		rep := s.coal.do(snap)
+		sb, pred, err = rep.sb, rep.res.TieredPrediction, rep.res.Err
+	} else {
+		sb = s.serving.Load()
+		pred, err = sb.b.PredictWithFallbackSpans(snap, sp)
+	}
 	if err != nil {
 		s.tiers.Inc(resilience.TierError)
 		resilience.WriteError(w, http.StatusBadRequest, err.Error())
@@ -874,7 +947,7 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if ctl := s.ctl.Load(); ctl != nil {
 		ctl.ObserveServed(snap.Target.ID, snap, pred.Prob, pred.Minutes, pred.Long)
 	}
-	writeJSON(w, http.StatusOK, predictResponse{
+	s.writePredictResponse(w, r, &predictResponse{
 		Long: pred.Long, Prob: pred.Prob, Minutes: pred.Minutes,
 		Message: pred.Message(sb.b.Model.Cfg.CutoffMinutes),
 		Tier:    pred.Tier,
@@ -924,10 +997,20 @@ func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	var req predictBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	rb := getRespBuf()
+	defer putRespBuf(rb)
+	body, err := readBody(rb, r.Body)
+	if err != nil {
 		resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("predict: bad body: %v", err))
 		return
+	}
+	var req predictBatchRequest
+	if !decodePredictBatchRequest(body, &req) {
+		req = predictBatchRequest{}
+		if err := json.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+			resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("predict: bad body: %v", err))
+			return
+		}
 	}
 	if req.At == 0 {
 		resilience.WriteError(w, http.StatusBadRequest, "predict: need at (unix seconds)")
@@ -1001,7 +1084,7 @@ func (s *Service) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			Tier:    res.Tier,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writePredictBatchResponse(w, r, &resp)
 }
 
 // stateResponse is the POST /state payload, reporting how the tolerant
@@ -1025,15 +1108,17 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 		resilience.WriteError(w, resilience.BodyErrorStatus(err), fmt.Sprintf("state: %v", err))
 		return
 	}
-	// Swap the legacy trace and reseed the live engine in ONE critical
-	// section: readers hold s.mu across their engine-or-scan decision, so
-	// splitting these two writes let a concurrent predict pair the new
-	// trace with the old engine state (or vice versa).
-	s.mu.Lock()
-	s.state = tr
+	// Swap the legacy trace and reseed the live engine as one unit
+	// relative to other uploads (stateMu serializes writers). Readers are
+	// lock-free: each serves wholly from the engine or wholly from the
+	// trace, so the only linearization point that matters is the engine
+	// reseed, which bumps the engine version and invalidates every cached
+	// snapshot at once.
+	s.stateMu.Lock()
+	s.state.Store(tr)
 	n := len(tr.Jobs)
 	seed, err := s.live.Seed(tr)
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	if err != nil {
 		// The legacy trace swap already succeeded; a failed checkpoint is
 		// degraded durability, not a failed upload.
@@ -1041,7 +1126,7 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 			s.cfg.Logf("state: live seed checkpoint: %v", err)
 		}
 	}
-	writeJSON(w, http.StatusOK, stateResponse{
+	s.writeJSON(w, r, http.StatusOK, stateResponse{
 		Jobs: n, Skipped: rep.Skipped,
 		LiveActive: seed.Active, LiveHistory: seed.History,
 	})
@@ -1100,7 +1185,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Now = s.live.Engine().Now()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
@@ -1128,7 +1213,7 @@ func (s *Service) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	for i, v := range row {
 		out[FeatureNames[i]] = v
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, r, http.StatusOK, out)
 }
 
 // SnapshotAtInstant reconstructs queue state at an arbitrary time by
@@ -1154,8 +1239,64 @@ func SnapshotAtInstant(tr *Trace, at int64, target trace.Job) *Snapshot {
 	return snap
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeBody commits a fully-marshaled JSON body: Content-Length is exact,
+// so clients never see a truncated-but-200 response.
+func writeBody(w http.ResponseWriter, code int, b []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(b)
+}
+
+// writeJSON marshals v into a pooled buffer before touching the response.
+// The old package-level helper encoded straight onto the wire, which meant
+// an encode failure was discovered after the 200 and headers were already
+// committed — the error was unreportable and silently dropped. Buffering
+// first turns that into a logged, structured 500 and sets Content-Length.
+func (s *Service) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
+	rb := getRespBuf()
+	defer putRespBuf(rb)
+	buf := bytes.NewBuffer(rb.b[:0])
+	err := json.NewEncoder(buf).Encode(v)
+	rb.b = buf.Bytes()
+	if err != nil {
+		if s.logger != nil {
+			s.logger.Error("response encode failed",
+				slog.String("path", r.URL.Path),
+				slog.String("trace_id", obs.TraceIDFrom(r.Context())),
+				slog.String("error", err.Error()))
+		}
+		resilience.WriteError(w, http.StatusInternalServerError,
+			fmt.Sprintf("encode response: %v", err))
+		return
+	}
+	writeBody(w, code, rb.b)
+}
+
+// writePredictResponse writes a /predict 200 through the zero-alloc
+// encoder; values the fast encoder refuses (non-finite floats) fall back
+// to the stdlib path and inherit its error handling.
+func (s *Service) writePredictResponse(w http.ResponseWriter, r *http.Request, v *predictResponse) {
+	rb := getRespBuf()
+	defer putRespBuf(rb)
+	b, ok := encodePredictResponse(rb.b[:0], v)
+	rb.b = b[:0]
+	if !ok {
+		s.writeJSON(w, r, http.StatusOK, v)
+		return
+	}
+	writeBody(w, http.StatusOK, b)
+}
+
+// writePredictBatchResponse is writePredictResponse for /predict/batch.
+func (s *Service) writePredictBatchResponse(w http.ResponseWriter, r *http.Request, v *predictBatchResponse) {
+	rb := getRespBuf()
+	defer putRespBuf(rb)
+	b, ok := encodePredictBatchResponse(rb.b[:0], v)
+	rb.b = b[:0]
+	if !ok {
+		s.writeJSON(w, r, http.StatusOK, v)
+		return
+	}
+	writeBody(w, http.StatusOK, b)
 }

@@ -1,0 +1,260 @@
+// Coalescing equivalence: micro-batching concurrent /predict calls through
+// the batch inference path is a latency/throughput trade, never a
+// semantics change. A coalesced response must be byte-identical to the
+// response the same request body gets from an uncoalesced service over
+// identical state, and under concurrent ingest + hot-swap every response
+// must still attribute itself to exactly one serving bundle. Run under
+// -race in CI (make race).
+package trout_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	trout "repro"
+)
+
+func coalesceTestConfig() trout.ServiceConfig {
+	return trout.ServiceConfig{
+		FastInference:  true,
+		Coalesce:       true,
+		CoalesceWindow: 300 * time.Microsecond,
+		CoalesceMax:    8,
+	}
+}
+
+// postBody runs one POST against an in-process handler and returns the
+// status and raw response bytes.
+func postBody(h http.Handler, path, body string) (int, []byte) {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// TestCoalesceByteIdentical: build two services over the same bundle and
+// identically seeded engines — one coalescing, one not — take reference
+// responses from the plain one, then hammer the coalescing one from enough
+// goroutines that requests genuinely collect into micro-batches. Every
+// coalesced response must equal its reference byte for byte.
+func TestCoalesceByteIdentical(t *testing.T) {
+	e := sharedExperiment(t)
+	bundle := resilientBundle(t)
+	t.Cleanup(bundle.DisableFastInference)
+	plainSvc, err := trout.NewServiceWith(bundle, e.Trace, trout.ServiceConfig{FastInference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coalSvc, err := trout.NewServiceWith(bundle, e.Trace, coalesceTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, coal := plainSvc.Handler(), coalSvc.Handler()
+
+	// Identical engine state on both sides: a queue of pending jobs.
+	base := e.Trace.Jobs[len(e.Trace.Jobs)-1].End + 1000
+	var events strings.Builder
+	for i := 0; i < 6; i++ {
+		events.WriteString(cacheEventsBody(9300001+i, base+int64(2*i)))
+	}
+	for _, h := range []http.Handler{plain, coal} {
+		if code, body := postBody(h, "/events", events.String()); code != http.StatusOK {
+			t.Fatalf("seed events status %d: %s", code, body)
+		}
+	}
+
+	// Distinct request shapes across two instants; reference from the
+	// uncoalesced service.
+	var bodies []string
+	for i := 0; i < 12; i++ {
+		at := base + 500 + int64(i%2)*250
+		bodies = append(bodies, fmt.Sprintf(
+			`{"at":%d,"job":{"user":%d,"partition":"shared","req_cpus":%d,"req_mem_gb":%d,"req_nodes":1,"time_limit":%d,"priority":%d}}`,
+			at, i%5, 1<<(i%6), 4*(i%8+1), 1800*(i%8+1), 500*(i%7+1)))
+	}
+	refs := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		code, b := postBody(plain, "/predict", body)
+		if code != http.StatusOK {
+			t.Fatalf("reference predict %d status %d: %s", i, code, b)
+		}
+		refs[i] = append([]byte(nil), b...)
+	}
+
+	const goroutines, rounds = 8, 40
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(bodies)
+				code, b := postBody(coal, "/predict", bodies[i])
+				if code != http.StatusOK {
+					select {
+					case errCh <- fmt.Errorf("coalesced predict status %d: %s", code, b):
+					default:
+					}
+					return
+				}
+				if !bytes.Equal(b, refs[i]) {
+					mismatches.Add(1)
+					select {
+					case errCh <- fmt.Errorf("body %d diverged:\n coalesced %s\n plain     %s", i, b, refs[i]):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// The hammer must have exercised the coalescer for the comparison to
+	// mean anything: its flush counter families must be live and nonzero.
+	code, mb := func() (int, []byte) {
+		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+		rec := httptest.NewRecorder()
+		coal.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes()
+	}()
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !strings.Contains(string(mb), "trout_coalesce_flushes_total") ||
+		!strings.Contains(string(mb), "trout_coalesce_batch_size") {
+		t.Fatalf("/metrics missing coalescer families:\n%.2000s", mb)
+	}
+}
+
+// TestCoalesceSwapIngestHammer: with coalescing on, /predict load racing
+// event ingest and repeated hot-swap/rollback must never fail a request,
+// and every response must carry a (model_version, model_id) pair belonging
+// to exactly one bundle that ever served — the flusher loads the serving
+// bundle once per micro-batch, so no response may mix versions.
+func TestCoalesceSwapIngestHammer(t *testing.T) {
+	t.Cleanup(resilientBundle(t).DisableFastInference)
+	srv, svc := resilientServer(t, resilientBundle(t), coalesceTestConfig())
+	e := sharedExperiment(t)
+	blob := serializeBundle(t, resilientBundle(t))
+	next, err := trout.LoadBundle(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := blobFingerprint(blob)
+	baseline, _ := svc.CurrentModel()
+	valid := map[string]bool{
+		fmt.Sprintf("0/%s", baseline.Fingerprint): true,
+		fmt.Sprintf("1/%s", wantFP):               true,
+	}
+
+	base := e.Trace.Jobs[len(e.Trace.Jobs)-1].End + 1000
+	postCacheEvents(t, srv.URL, cacheEventsBody(9310000, base), 2)
+	at := base + 5000
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures, requests atomic.Int64
+	var pairMu sync.Mutex
+	pairs := map[string]int{}
+	client := srv.Client()
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := fmt.Sprintf(
+				`{"at":%d,"job":{"user":%d,"partition":"shared","req_cpus":4,"req_mem_gb":8,"req_nodes":1,"time_limit":7200,"priority":3000}}`,
+				at, g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				requests.Add(1)
+				resp, err := client.Post(srv.URL+"/predict", "application/json", strings.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				var out struct {
+					ModelVersion int    `json:"model_version"`
+					ModelID      string `json:"model_id"`
+				}
+				bad := resp.StatusCode != http.StatusOK
+				if !bad {
+					bad = json.NewDecoder(resp.Body).Decode(&out) != nil
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if bad {
+					failures.Add(1)
+					continue
+				}
+				pairMu.Lock()
+				pairs[fmt.Sprintf("%d/%s", out.ModelVersion, out.ModelID)]++
+				pairMu.Unlock()
+			}
+		}(g)
+	}
+	// Concurrent ingest: each upload bumps the engine version under the
+	// predictors' and coalescer's feet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := cacheEventsBody(9310001+i, base+int64(2+2*i))
+			resp, err := client.Post(srv.URL+"/events", "application/jsonl", strings.NewReader(body))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	const swaps = 20
+	for i := 0; i < swaps; i++ {
+		if err := svc.SwapBundle(next, 1); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		time.Sleep(time.Millisecond)
+		if err := svc.RollbackBundle(); err != nil {
+			t.Fatalf("rollback %d: %v", i, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d requests failed during coalesced swap/ingest hammer", n, requests.Load())
+	}
+	for pair, n := range pairs {
+		if !valid[pair] {
+			t.Fatalf("%d responses attributed to torn serving pair %q (valid %v)", n, pair, valid)
+		}
+	}
+}
