@@ -5,7 +5,7 @@ BENCH_JOBS ?= 50000
 # Repetitions per benchmark; pipe the output into benchstat to compare runs.
 BENCH_COUNT ?= 5
 
-.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke controlplane-smoke serving-smoke bench bench-json bench-smoke bench-check ci clean
+.PHONY: all build test race vet fmt-check fuzz-smoke metrics-smoke replication-smoke controlplane-smoke serving-smoke trace-smoke bench bench-json bench-smoke bench-check ci clean
 
 all: build
 
@@ -67,6 +67,13 @@ controlplane-smoke:
 serving-smoke:
 	$(GO) test -run 'TestServingSmoke' -count=1 .
 
+# Serving smoke with tracing fully on: every exported JSONL trace line is
+# schema-checked (16-hex IDs, parent refs resolving in-line, children
+# nested inside their parents' intervals), plus the slow-request
+# acceptance pin (export + /debug/requests agree on the trace ID).
+trace-smoke:
+	$(GO) test -run 'TestTraceSmoke|TestTraceSlowRequestRecorded|TestWriteProxyTraceContinuity' -count=1 .
+
 # Legacy O(N) snapshot scan vs the livestate engine's indexed extraction,
 # in benchstat-friendly form:
 #   make bench > new.txt && benchstat old.txt new.txt
@@ -123,7 +130,7 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_serving.json bench_check.txt
 	rm -f bench_check.txt
 
-ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke controlplane-smoke serving-smoke bench-smoke bench-check
+ci: fmt-check vet build race fuzz-smoke metrics-smoke replication-smoke controlplane-smoke serving-smoke trace-smoke bench-smoke bench-check
 
 clean:
 	$(GO) clean ./...

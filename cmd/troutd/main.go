@@ -112,6 +112,18 @@ func main() {
 		admitQueue    = flag.Int("admit-queue", 64, "ingest requests allowed to queue for an admission slot; beyond it requests shed with 429")
 		admitTimeout  = flag.Duration("admit-queue-timeout", time.Second, "queued ingest requests shed with 429 after waiting this long")
 
+		tracing       = flag.Bool("tracing", true, "hierarchical request tracing (span trees, flight recorder, tail-sampled export)")
+		traceFile     = flag.String("trace-file", "", "tail-sampled trace export JSONL file; empty keeps tracing in-memory only (/debug/requests still works)")
+		traceSample   = flag.Float64("trace-sample", 0.01, "head-sampling fraction of fast successful traces exported (negative disables; slow/errored traces always export)")
+		traceSlow     = flag.Duration("trace-slow", 250*time.Millisecond, "tail-keep any request trace at least this slow")
+		traceMaxBytes = flag.Int64("trace-max-bytes", 64<<20, "rotate the trace export file past this many bytes")
+		traceMaxFiles = flag.Int("trace-max-files", 4, "rotated trace export files kept, current included")
+		flightSlots   = flag.Int("flight-slots", 32, "flight-recorder depth: N slowest and N most recent errored requests on /debug/requests")
+
+		sloAvail     = flag.Float64("slo-availability", 0.999, "availability SLO target (fraction of non-5xx responses); negative disables SLO tracking")
+		sloLatFrac   = flag.Float64("slo-latency-target", 0.99, "latency SLO target (fraction of requests under -slo-latency-threshold)")
+		sloLatThresh = flag.Duration("slo-latency-threshold", 500*time.Millisecond, "latency SLO objective bound")
+
 		logLevel  = flag.String("log-level", "info", "log threshold: debug|info|warn|error")
 		logFormat = flag.String("log-format", "json", "log encoding: json|text")
 
@@ -137,9 +149,32 @@ func main() {
 	if err != nil {
 		fatal("load state", err)
 	}
+	// One tracer serves the whole process: HTTP requests, WAL
+	// syncs/checkpoints, retrain cycles, and follower resnapshots all land
+	// in the same export file and flight recorder.
+	tcfg := obs.TracerConfig{
+		Disabled:      !*tracing,
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+		Path:          *traceFile,
+		MaxFileBytes:  *traceMaxBytes,
+		MaxFiles:      *traceMaxFiles,
+		FlightSlots:   *flightSlots,
+	}
+	tracer, err := obs.NewTracer(tcfg)
+	if err != nil {
+		fatal("open trace exporter", err)
+	}
+	scfg := obs.SLOConfig{
+		Disabled:           *sloAvail < 0,
+		AvailabilityTarget: *sloAvail,
+		LatencyTarget:      *sloLatFrac,
+		LatencyThreshold:   *sloLatThresh,
+	}
 	store, err := livestate.OpenStore(livestate.StoreOptions{
 		Dir: *walDir, Logf: obs.Logf(logger),
 		SegmentBytes: *segBytes, RetainSegments: *retainSegs,
+		Tracer: tracer,
 	})
 	if err != nil {
 		fatal("open live-state store", err)
@@ -170,6 +205,9 @@ func main() {
 		Coalesce:       *coalesce,
 		CoalesceWindow: *coalesceWindow,
 		CoalesceMax:    *coalesceMax,
+		Tracer:         tracer,
+		Tracing:        tcfg,
+		SLO:            scfg,
 	})
 	if err != nil {
 		fatal("build service", err)
@@ -227,6 +265,10 @@ func main() {
 	if *follow != "" {
 		logger.Info("following leader", slog.String("leader", *follow),
 			slog.Bool("proxy_writes", *proxyWrites), slog.Uint64("lag_threshold", *replLag))
+	}
+	if tracer.Enabled() && *traceFile != "" {
+		logger.Info("trace export enabled", slog.String("file", *traceFile),
+			slog.Float64("sample", *traceSample), slog.Duration("slow_threshold", *traceSlow))
 	}
 
 	// Profiling stays off the service listener: the pprof handlers are
@@ -312,6 +354,10 @@ func main() {
 		}
 		if err := store.Close(); err != nil {
 			logger.Error("wal close", slog.Any("error", err))
+		}
+		// Drain the trace export queue so the last kept traces hit disk.
+		if err := tracer.Close(); err != nil {
+			logger.Error("trace export close", slog.Any("error", err))
 		}
 		logger.Info("drained; exiting")
 	}

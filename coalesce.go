@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Coalescer flush triggers for trout_coalesce_flushes_total.
@@ -20,6 +22,15 @@ const (
 type coalesceReply struct {
 	res BatchResult
 	sb  *servingBundle
+	// stages are the flush's pipeline stage timings (featurize,
+	// batch_nn, fallback) — shared across the batch, copied into each
+	// member's span recorder so coalesced requests keep their stage
+	// attribution.
+	stages []obs.Span
+	// flushTrace/flushSpan identify the shared flush span, so each
+	// member's trace can record a link to the micro-batch that served it.
+	flushTrace string
+	flushSpan  uint64
 }
 
 // coalesceItem is one parked /predict request: its resolved snapshot and
@@ -113,6 +124,23 @@ func (c *coalescer) run(g *coalesceGroup, reason string) {
 		s.coalDepth.Observe(float64(len(g.items)))
 	}
 	sb := s.serving.Load()
+
+	// The flush is its own trace: a root span the members link to, with
+	// the batch path's stage timings as children. The same Spans recorder
+	// is threaded into the batch call, so batch_nn/fallback durations are
+	// recorded once here and copied to every member via the reply.
+	fsp := &obs.Spans{}
+	var ftb *obs.TraceBuf
+	var froot obs.SpanHandle
+	var flushTrace string
+	if s.tracer.Enabled() {
+		ftb, froot = s.tracer.StartRoot("coalesce_flush")
+		froot.SetAttr("reason", reason)
+		froot.SetAttrInt("batch", int64(len(g.items)))
+		fsp.AttachTree(ftb, froot.ID())
+		flushTrace = ftb.TraceID()
+	}
+
 	sent := 0
 	defer func() {
 		// A panic mid-batch (the batch path recovers internally, so this
@@ -126,14 +154,20 @@ func (c *coalescer) run(g *coalesceGroup, reason string) {
 			if s.cfg.Logf != nil {
 				s.cfg.Logf("coalesce: batch panic: %v", r)
 			}
+			s.tracer.FinishRoot(ftb, froot, err)
 		}
 	}()
 	snaps := make([]*Snapshot, len(g.items))
 	for i := range g.items {
 		snaps[i] = g.items[i].snap
 	}
-	results := sb.b.PredictBatchWithFallbackSpans(snaps, nil)
+	results := sb.b.PredictBatchWithFallbackSpans(snaps, fsp)
+	stages := fsp.Snapshot()
 	for ; sent < len(g.items); sent++ {
-		g.items[sent].ch <- coalesceReply{res: results[sent], sb: sb}
+		g.items[sent].ch <- coalesceReply{
+			res: results[sent], sb: sb,
+			stages: stages, flushTrace: flushTrace, flushSpan: froot.ID(),
+		}
 	}
+	s.tracer.FinishRoot(ftb, froot, nil)
 }

@@ -237,6 +237,7 @@ func (s *Service) AttachControlPlane(cfg ControlPlaneConfig) (*ControlPlane, err
 		RollbackWindow: cfg.RollbackWindow,
 		RollbackFactor: cfg.RollbackFactor,
 		Logger:         log,
+		Tracer:         s.tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -111,6 +111,12 @@ type Options struct {
 	RollbackFactor float64
 
 	Logger *slog.Logger
+
+	// Tracer, when set, records each retrain cycle as a hierarchical
+	// trace: a "retrain" root with train/publish/shadow/promote child
+	// spans. Failed cycles are errored traces, so tail sampling always
+	// exports them. Nil disables (zero overhead).
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() error {
@@ -311,21 +317,32 @@ func (c *Controller) cycle(ctx context.Context, reason string) {
 	c.setState(StateRetraining)
 	log.Info("controlplane: retraining", slog.String("reason", reason))
 
+	tb, root := c.opt.Tracer.StartRoot("retrain")
+	root.SetAttr("reason", reason)
+	var cycleErr error
+	defer func() { c.opt.Tracer.FinishRoot(tb, root, cycleErr) }()
+
+	tsp := root.StartChild("train")
 	cand, err := c.opt.Train(ctx)
 	if err != nil || cand == nil || len(cand.Blob) == 0 || cand.Predictor == nil {
 		if err == nil {
 			err = fmt.Errorf("trainer returned no candidate")
 		}
+		tsp.EndErr(err)
+		cycleErr = err
 		c.failures.Add(1)
 		c.finish(VerdictFailed, err.Error())
 		log.Warn("controlplane: retrain failed", slog.Any("error", err))
 		return
 	}
+	tsp.SetAttrInt("samples", int64(cand.Samples))
+	tsp.End()
 
 	parent := ""
 	if c.opt.IncumbentID != nil {
 		parent = c.opt.IncumbentID()
 	}
+	psp := root.StartChild("publish")
 	m, err := c.opt.Registry.Publish(cand.Blob, Manifest{
 		Parent:      parent,
 		Watermark:   cand.Watermark,
@@ -336,11 +353,15 @@ func (c *Controller) cycle(ctx context.Context, reason string) {
 		Note:        "trigger: " + reason,
 	})
 	if err != nil {
+		psp.EndErr(err)
+		cycleErr = err
 		c.failures.Add(1)
 		c.finish(VerdictFailed, err.Error())
 		log.Warn("controlplane: publish failed", slog.Any("error", err))
 		return
 	}
+	psp.SetAttrInt("version", int64(m.Version))
+	psp.End()
 	c.mu.Lock()
 	c.candVer, c.candID = m.Version, m.ID
 	c.mu.Unlock()
@@ -348,7 +369,8 @@ func (c *Controller) cycle(ctx context.Context, reason string) {
 		slog.Int("version", m.Version), slog.String("id", m.ID[:12]),
 		slog.Int("samples", m.Samples), slog.Float64("offline_mae", m.Eval.MAEMinutes))
 
-	verdict, note := c.shadowPhase(ctx, m, cand)
+	verdict, note := c.shadowPhase(ctx, m, cand, root)
+	root.SetAttr("verdict", verdict)
 	switch verdict {
 	case VerdictPromoted:
 		// Status/active flip happen inside promoteAndWatch.
@@ -359,6 +381,7 @@ func (c *Controller) cycle(ctx context.Context, reason string) {
 		log.Info("controlplane: candidate rejected",
 			slog.Int("version", m.Version), slog.String("note", note))
 	case VerdictFailed:
+		cycleErr = fmt.Errorf("retrain failed: %s", note)
 		c.failures.Add(1)
 		c.finish(VerdictFailed, note)
 	}
@@ -367,8 +390,9 @@ func (c *Controller) cycle(ctx context.Context, reason string) {
 // shadowPhase scores the candidate on live traffic until both trackers
 // fill their windows (or timeout/shutdown), then judges and — when the
 // candidate wins — promotes and watches the probation window.
-func (c *Controller) shadowPhase(ctx context.Context, m Manifest, cand *Candidate) (string, string) {
+func (c *Controller) shadowPhase(ctx context.Context, m Manifest, cand *Candidate, troot obs.SpanHandle) (string, string) {
 	c.setState(StateShadow)
+	ssp := troot.StartChild("shadow")
 	sr := newShadowRun(m.Version, m.ID, cand.Predictor, c.opt.CutoffMinutes, c.opt.ShadowQueue, c.opt.ShadowWindow)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -387,18 +411,24 @@ func (c *Controller) shadowPhase(ctx context.Context, m Manifest, cand *Candidat
 	for {
 		select {
 		case <-ctx.Done():
+			ssp.SetError("shutdown during shadow")
+			ssp.End()
 			return VerdictFailed, "shutdown during shadow"
 		case <-tick.C:
 		}
 		cs, is := sr.cand.Stats(), sr.inc.Stats()
 		if cs.Window >= c.opt.ShadowWindow && is.Window >= c.opt.ShadowWindow {
 			better, note := c.judge(cs, is)
+			ssp.SetAttrInt("scored", int64(sr.scored.Load()))
+			ssp.End()
 			if !better {
 				return VerdictRejected, note
 			}
-			return c.promoteAndWatch(ctx, m, cs, note)
+			return c.promoteAndWatch(ctx, m, cs, note, troot)
 		}
 		if time.Now().After(deadline) {
+			ssp.SetError("shadow window never filled")
+			ssp.End()
 			return VerdictRejected, fmt.Sprintf("shadow window never filled (cand %d, inc %d of %d)",
 				cs.Window, is.Window, c.opt.ShadowWindow)
 		}
@@ -433,12 +463,16 @@ func (c *Controller) judge(cand, inc obs.OnlineStats) (bool, string) {
 // outcomes blows past the pre-promotion level, the swap is instantly
 // reverted. Baseline captured BEFORE the swap so the comparison is
 // serving-model-attributable.
-func (c *Controller) promoteAndWatch(ctx context.Context, m Manifest, shadowStats obs.OnlineStats, note string) (string, string) {
+func (c *Controller) promoteAndWatch(ctx context.Context, m Manifest, shadowStats obs.OnlineStats, note string, troot obs.SpanHandle) (string, string) {
 	log := c.opt.Logger
+	psp := troot.StartChild("promote")
+	defer psp.End()
 	before := c.opt.Drift()
 	if err := c.opt.Promote(m, nil); err != nil {
+		psp.SetError("promote refused: " + err.Error())
 		return VerdictRejected, note + "; promote refused: " + err.Error()
 	}
+	psp.SetAttrInt("version", int64(m.Version))
 	_ = c.opt.Registry.SetActive(m.Version)
 	_ = c.opt.Registry.SetStatus(m.Version, StatusActive, note)
 	c.promotions.Add(1)
@@ -487,6 +521,7 @@ func (c *Controller) promoteAndWatch(ctx context.Context, m Manifest, shadowStat
 			_ = c.opt.Registry.SetActive(0)
 			_ = c.opt.Registry.SetStatus(m.Version, StatusRolledBack,
 				fmt.Sprintf("online MAE %.1f > %.1f×%.1f after promotion", now.MAEMinutes, baseline, c.opt.RollbackFactor))
+			psp.SetError("rolled back: online MAE regressed")
 			c.rollbacks.Add(1)
 			c.finish(VerdictRolledBack, "")
 			log.Warn("controlplane: promotion rolled back",

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,9 @@ type StoreOptions struct {
 	RetainSegments int
 	// Logf, when set, receives recovery diagnostics.
 	Logf func(format string, args ...any)
+	// Tracer, when set, records WAL fsyncs and checkpoints as root
+	// traces (slow or failing ones survive tail sampling).
+	Tracer *obs.Tracer
 }
 
 // RecoverReport describes what OpenStore reconstructed.
@@ -332,12 +336,24 @@ func (s *Store) Apply(ev Event) error {
 // ingest paths call this once per batch before acknowledging the batch —
 // a crash can then only lose events that were never acknowledged.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("livestate: store is closed")
+	if s.opt.Dir == "" {
+		// Memory-only store: sync is a no-op; don't emit phantom
+		// wal_sync traces on every ingest batch.
+		return nil
 	}
-	return s.sync()
+	tb, root := s.opt.Tracer.StartRoot("wal_sync")
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		err := fmt.Errorf("livestate: store is closed")
+		s.opt.Tracer.FinishRoot(tb, root, err)
+		return err
+	}
+	err := s.sync()
+	root.SetAttrInt("lsn", int64(s.lsn))
+	s.mu.Unlock()
+	s.opt.Tracer.FinishRoot(tb, root, err)
+	return err
 }
 
 // sync flushes and fsyncs the WAL, advancing the durable LSN replication
@@ -383,6 +399,13 @@ func (s *Store) Checkpoint() error {
 	if s.opt.Dir == "" {
 		return nil
 	}
+	tb, root := s.opt.Tracer.StartRoot("checkpoint")
+	err := s.checkpoint(root)
+	s.opt.Tracer.FinishRoot(tb, root, err)
+	return err
+}
+
+func (s *Store) checkpoint(root obs.SpanHandle) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -391,6 +414,7 @@ func (s *Store) Checkpoint() error {
 	if err := s.sync(); err != nil {
 		return err
 	}
+	root.SetAttrInt("lsn", int64(s.lsn))
 	ck := checkpointDTO{LSN: s.lsn, Gen: s.gen, State: s.eng.snapshotDTO()}
 	if err := s.writeCheckpointLocked(ck); err != nil {
 		return err

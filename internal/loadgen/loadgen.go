@@ -136,6 +136,18 @@ type Scorecard struct {
 	// and do NOT count — a shed request got a correct answer.
 	ErrorRate      float64  `json:"error_rate"`
 	InvalidSamples []string `json:"invalid_samples,omitempty"`
+	// Slowest lists the k slowest requests with the trace ID the server
+	// stamped on them (X-Request-ID), pasteable straight into the
+	// server's /debug/requests flight recorder to pull the full span tree.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest identifies one of the run's slowest requests by trace ID.
+type SlowRequest struct {
+	Kind    Kind          `json:"kind"`
+	Status  int           `json:"status"`
+	Latency time.Duration `json:"latency_ns"`
+	TraceID string        `json:"trace_id,omitempty"`
 }
 
 func (sc *Scorecard) String() string {
@@ -169,6 +181,17 @@ func (sc *Scorecard) String() string {
 		if ks, ok := sc.Kinds[k]; ok && ks.Count > 0 {
 			fmt.Fprintf(&b, "  %-8s n=%-6d p50 %-10s p99 %-10s\n",
 				k, ks.Count, ks.P50.Round(time.Microsecond), ks.P99.Round(time.Microsecond))
+		}
+	}
+	if len(sc.Slowest) > 0 {
+		fmt.Fprintf(&b, "  slowest requests (look up trace IDs on the server's /debug/requests):\n")
+		for _, sr := range sc.Slowest {
+			id := sr.TraceID
+			if id == "" {
+				id = "-"
+			}
+			fmt.Fprintf(&b, "    %-10s %-8s HTTP %d  trace %s\n",
+				sr.Latency.Round(time.Microsecond), sr.Kind, sr.Status, id)
 		}
 	}
 	return b.String()
@@ -217,6 +240,7 @@ type sample struct {
 	status  int // 0 = network error
 	latency time.Duration
 	invalid string // non-empty = validation failure
+	trace   string // server-stamped X-Request-ID, keys /debug/requests
 }
 
 // Run executes the load and scores it. It returns early (with the partial
@@ -385,7 +409,8 @@ func (c Config) doOne(ctx context.Context, rng *rand.Rand, nextJobID *atomic.Int
 	}
 	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
-	s := sample{kind: kind, status: resp.StatusCode, latency: lat}
+	s := sample{kind: kind, status: resp.StatusCode, latency: lat,
+		trace: resp.Header.Get("X-Request-ID")}
 	if c.Validate != nil {
 		if verr := c.Validate(kind, resp.StatusCode, resp.Header.Get("Retry-After"), respBody); verr != nil {
 			s.invalid = verr.Error()
@@ -404,6 +429,26 @@ func quantiles(lat []time.Duration) (p50, p90, p99, max time.Duration) {
 		return lat[i]
 	}
 	return at(0.50), at(0.90), at(0.99), lat[len(lat)-1]
+}
+
+// slowest returns the k slowest completed requests, slowest first, so
+// the scorecard can hand their trace IDs to /debug/requests.
+func slowest(all []sample, k int) []SlowRequest {
+	done := make([]sample, 0, len(all))
+	for _, s := range all {
+		if s.status != 0 {
+			done = append(done, s)
+		}
+	}
+	sort.Slice(done, func(a, b int) bool { return done[a].latency > done[b].latency })
+	if len(done) > k {
+		done = done[:k]
+	}
+	out := make([]SlowRequest, len(done))
+	for i, s := range done {
+		out[i] = SlowRequest{Kind: s.kind, Status: s.status, Latency: s.latency, TraceID: s.trace}
+	}
+	return out
 }
 
 func score(all []sample, elapsed time.Duration) *Scorecard {
@@ -448,6 +493,7 @@ func score(all []sample, elapsed time.Duration) *Scorecard {
 		ks := sc.Kinds[k]
 		ks.P50, ks.P90, ks.P99, ks.Max = quantiles(lat)
 	}
+	sc.Slowest = slowest(all, 5)
 	if sc.Total > 0 {
 		sc.ErrorRate = float64(hardFailures) / float64(sc.Total)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ func TestRunMixedWorkloadScorecard(t *testing.T) {
 			t.Errorf("unexpected path %s", r.URL.Path)
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Request-ID", "deadbeefcafe0123")
 		w.Write([]byte(`{"ok":true}`))
 	}))
 	defer srv.Close()
@@ -50,6 +52,25 @@ func TestRunMixedWorkloadScorecard(t *testing.T) {
 	}
 	if sc.P50 <= 0 || sc.P99 < sc.P50 || sc.Max < sc.P99 {
 		t.Fatalf("quantiles disordered: p50=%s p99=%s max=%s", sc.P50, sc.P99, sc.Max)
+	}
+	// The slowest-request digest carries the server-stamped trace IDs,
+	// sorted slowest-first, so they can be pulled from /debug/requests.
+	if len(sc.Slowest) != 5 {
+		t.Fatalf("slowest digest has %d entries, want 5", len(sc.Slowest))
+	}
+	for i, sr := range sc.Slowest {
+		if sr.TraceID != "deadbeefcafe0123" {
+			t.Fatalf("slowest[%d] trace ID = %q", i, sr.TraceID)
+		}
+		if i > 0 && sr.Latency > sc.Slowest[i-1].Latency {
+			t.Fatalf("slowest digest not sorted: %v", sc.Slowest)
+		}
+	}
+	if sc.Slowest[0].Latency != sc.Max {
+		t.Fatalf("slowest[0] = %s, max = %s", sc.Slowest[0].Latency, sc.Max)
+	}
+	if !strings.Contains(sc.String(), "trace deadbeefcafe0123") {
+		t.Fatalf("scorecard text missing trace IDs:\n%s", sc.String())
 	}
 }
 

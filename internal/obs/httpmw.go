@@ -12,8 +12,8 @@ import (
 // their updates — trace-ID propagation always runs.
 type HTTPOptions struct {
 	// Logger receives one structured access-log record per request
-	// (msg "request": trace_id, method, path, status, duration and the
-	// request's pipeline spans).
+	// (msg "request": trace_id, method, path, status, duration, bytes,
+	// remote and the request's pipeline spans).
 	Logger *slog.Logger
 	// Requests counts completed requests; labels {path, code}.
 	Requests *CounterVec
@@ -24,13 +24,19 @@ type HTTPOptions struct {
 	// PathFor maps a request to its metric/log path label (clamping
 	// unknown paths bounds label cardinality). Nil uses the URL path.
 	PathFor func(*http.Request) string
+	// Tracer, when set, opens a hierarchical root span per request and
+	// runs the tail-sampling/flight-recorder pipeline at completion.
+	Tracer *Tracer
+	// SLO, when set, feeds the rolling burn-rate windows.
+	SLO *SLOTracker
 }
 
-// statusWriter captures the response status. Unwrap keeps
-// http.ResponseController working through the wrap.
+// statusWriter captures the response status and byte count. Unwrap
+// keeps http.ResponseController working through the wrap.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -44,7 +50,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.code == 0 {
 		w.code = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
@@ -52,9 +60,15 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // Instrument is the observability middleware: it establishes the
 // request's trace ID (accepted from X-Request-ID when well-formed,
 // generated otherwise), echoes it on the response, attaches a span
-// recorder to the context, and on completion records request metrics,
-// per-stage latency, and a structured access-log line carrying the
-// trace ID and spans.
+// recorder — and, with a Tracer, a hierarchical root span — to the
+// context, and on completion records request metrics, per-stage
+// latency, SLO windows, the flight recorder / trace export, and a
+// structured access-log line carrying the trace ID and spans.
+//
+// Cross-node continuity: a well-formed X-Trout-Parent-Span header links
+// the root span to the caller's span (same trace ID, other node), and
+// the header is rewritten to this request's root span ID so a reverse
+// proxy hop forwards the linkage downstream.
 func Instrument(next http.Handler, o HTTPOptions) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := SanitizeTraceID(r.Header.Get(TraceIDHeader))
@@ -67,6 +81,20 @@ func Instrument(next http.Handler, o HTTPOptions) http.Handler {
 		ctx := WithSpans(WithTraceID(r.Context(), id), sp)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+
+		var tb *TraceBuf
+		var root SpanHandle
+		var rootName string
+		if o.Tracer.Enabled() {
+			remoteParent := ParseSpanID(r.Header.Get(ParentSpanHeader))
+			rootName = r.Method + " " + r.URL.Path
+			tb, root = o.Tracer.StartTrace(id, rootName, start, remoteParent)
+			root.SetAttr("remote", r.RemoteAddr)
+			sp.AttachTree(tb, root.ID())
+			// Forward our root as the parent for any proxied hop.
+			r.Header.Set(ParentSpanHeader, FormatSpanID(root.ID()))
+		}
+
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 
@@ -78,8 +106,9 @@ func Instrument(next http.Handler, o HTTPOptions) http.Handler {
 		if o.PathFor != nil {
 			path = o.PathFor(r)
 		}
+		codeStr := strconv.Itoa(code)
 		if o.Requests != nil {
-			o.Requests.Inc(path, strconv.Itoa(code))
+			o.Requests.Inc(path, codeStr)
 		}
 		if o.Latency != nil {
 			o.Latency.Observe(elapsed.Seconds())
@@ -89,6 +118,17 @@ func Instrument(next http.Handler, o HTTPOptions) http.Handler {
 				o.StageLatency.Observe(s.Seconds, s.Stage)
 			}
 		}
+		o.SLO.Observe(code, elapsed)
+		if tb != nil {
+			root.SetAttr("status", codeStr)
+			root.SetAttrInt("bytes", sw.bytes)
+			if path != r.URL.Path {
+				// Unknown path clamped by PathFor: rename the root so the
+				// recorder and export share the bounded-cardinality label.
+				rootName = r.Method + " " + path
+			}
+			o.Tracer.FinishRequest(tb, root, rootName, code, elapsed)
+		}
 		if o.Logger != nil {
 			o.Logger.LogAttrs(ctx, slog.LevelInfo, "request",
 				slog.String("trace_id", id),
@@ -96,6 +136,8 @@ func Instrument(next http.Handler, o HTTPOptions) http.Handler {
 				slog.String("path", path),
 				slog.Int("status", code),
 				slog.Float64("duration_seconds", elapsed.Seconds()),
+				slog.Int64("bytes", sw.bytes),
+				slog.String("remote", r.RemoteAddr),
 				slog.Any("spans", sp),
 			)
 		}

@@ -138,6 +138,7 @@ func TestInstrument(t *testing.T) {
 		seenID = TraceIDFrom(r.Context())
 		SpansFrom(r.Context()).Observe(StageClassify, 0.002)
 		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
 	}), HTTPOptions{Logger: logger, Requests: reqs, Latency: lat, StageLatency: stages})
 
 	// Client-supplied well-formed ID is honoured.
@@ -164,6 +165,12 @@ func TestInstrument(t *testing.T) {
 	spans, ok := logRec["spans"].(map[string]any)
 	if !ok || spans[StageClassify] == nil {
 		t.Errorf("log spans = %v", logRec["spans"])
+	}
+	if logRec["bytes"] != float64(len("short and stout")) {
+		t.Errorf("log bytes = %v, want %d", logRec["bytes"], len("short and stout"))
+	}
+	if remote, _ := logRec["remote"].(string); remote == "" || remote != req.RemoteAddr {
+		t.Errorf("log remote = %v, want %q", logRec["remote"], req.RemoteAddr)
 	}
 
 	// Malformed ID is replaced with a generated one.

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecordedTrace is one request kept by the flight recorder, ready for
+// /debug/requests (same SpanJSON shape as the JSONL export).
+type RecordedTrace struct {
+	TraceID     string     `json:"trace_id"`
+	Name        string     `json:"name"`
+	Status      int        `json:"status"`
+	DurationMs  float64    `json:"duration_ms"`
+	StartUnixNs int64      `json:"start_unix_ns"`
+	Spans       []SpanJSON `json:"spans"`
+}
+
+// DebugRequests is the GET /debug/requests payload.
+type DebugRequests struct {
+	SlowThresholdMs float64         `json:"slow_threshold_ms,omitempty"`
+	Slowest         []RecordedTrace `json:"slowest"`
+	Errored         []RecordedTrace `json:"errored"`
+}
+
+// recEntry is the internal kept form: raw span records, converted to
+// JSON shape only at snapshot time.
+type recEntry struct {
+	traceID string
+	name    string
+	status  int
+	dur     time.Duration
+	start   int64
+	spans   []SpanRec
+}
+
+// Recorder is the in-memory flight recorder: the N slowest requests and
+// the N most recent errored requests, full span trees included. The
+// keep-nothing fast path — not errored, not slower than the current
+// slowest-set floor — is a single atomic load with zero allocation, so
+// steady-state traffic pays nothing once the slow set is warm.
+type Recorder struct {
+	slots int
+
+	// minSlow is the admission floor for the slow set: 0 until the set
+	// fills, then the smallest kept duration (ns). Checked lock-free.
+	minSlow atomic.Int64
+
+	mu      sync.Mutex
+	slow    []recEntry // unordered; sorted only at snapshot
+	errored []recEntry // ring, next points at the oldest slot
+	next    int
+
+	keptSlow atomic.Uint64
+	keptErr  atomic.Uint64
+}
+
+func newRecorder(slots int) *Recorder {
+	return &Recorder{slots: slots}
+}
+
+// Offer shows a finished request to the recorder. Safe on nil.
+func (r *Recorder) Offer(tb *TraceBuf, name string, status int, dur time.Duration, errored bool) {
+	if r == nil || tb == nil {
+		return
+	}
+	if !errored && dur.Nanoseconds() <= r.minSlow.Load() {
+		return // keep-nothing path: no lock, no allocation
+	}
+	spans := tb.snapshot(time.Now().UnixNano())
+	var start int64
+	if len(spans) > 0 {
+		start = spans[0].Start
+	}
+	ent := recEntry{traceID: tb.traceID, name: name, status: status, dur: dur, start: start, spans: spans}
+
+	r.mu.Lock()
+	if errored {
+		r.keptErr.Add(1)
+		if len(r.errored) < r.slots {
+			r.errored = append(r.errored, ent)
+		} else {
+			r.errored[r.next] = ent
+			r.next = (r.next + 1) % r.slots
+		}
+	}
+	// Errored requests also compete for the slow set on merit.
+	if dur.Nanoseconds() > r.minSlow.Load() || len(r.slow) < r.slots {
+		r.keptSlow.Add(1)
+		if len(r.slow) < r.slots {
+			r.slow = append(r.slow, ent)
+		} else {
+			min := 0
+			for i := 1; i < len(r.slow); i++ {
+				if r.slow[i].dur < r.slow[min].dur {
+					min = i
+				}
+			}
+			r.slow[min] = ent
+		}
+		if len(r.slow) == r.slots {
+			floor := r.slow[0].dur
+			for _, e := range r.slow[1:] {
+				if e.dur < floor {
+					floor = e.dur
+				}
+			}
+			r.minSlow.Store(floor.Nanoseconds())
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot renders the recorder state: slowest first (descending
+// duration), errored most-recent first.
+func (r *Recorder) Snapshot() DebugRequests {
+	out := DebugRequests{Slowest: []RecordedTrace{}, Errored: []RecordedTrace{}}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	slow := append([]recEntry(nil), r.slow...)
+	var errs []recEntry
+	for i := 0; i < len(r.errored); i++ {
+		// Walk the ring newest→oldest: next-1 is the newest slot.
+		idx := (r.next - 1 - i + 2*len(r.errored)) % len(r.errored)
+		errs = append(errs, r.errored[idx])
+	}
+	r.mu.Unlock()
+
+	sort.Slice(slow, func(i, j int) bool { return slow[i].dur > slow[j].dur })
+	for _, e := range slow {
+		out.Slowest = append(out.Slowest, e.rendered())
+	}
+	for _, e := range errs {
+		out.Errored = append(out.Errored, e.rendered())
+	}
+	return out
+}
+
+func (e recEntry) rendered() RecordedTrace {
+	return RecordedTrace{
+		TraceID:     e.traceID,
+		Name:        e.name,
+		Status:      e.status,
+		DurationMs:  float64(e.dur) / 1e6,
+		StartUnixNs: e.start,
+		Spans:       spansToJSON(e.spans),
+	}
+}
+
+// register exposes recorder activity counters.
+func (r *Recorder) register(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.CounterVecFunc("trout_trace_recorded_total",
+		"Requests admitted to the flight recorder, by ring.",
+		[]string{"ring"}, func(emit Emit) {
+			emit(float64(r.keptSlow.Load()), "slow")
+			emit(float64(r.keptErr.Load()), "errored")
+		})
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Multi-window SLO burn-rate tracking. Requests are bucketed into
+// 10-second cells of a 6-hour ring; burn rate over a window is the
+// observed bad fraction divided by the error budget (1 - target), so
+// burn 1.0 means "spending budget exactly as fast as the SLO allows",
+// 14.4 means "2% of a 30-day budget per hour" — the classic page
+// threshold.
+
+// sloWindow is one reporting window.
+type sloWindow struct {
+	label   string
+	buckets int64 // window length in ring buckets
+}
+
+const sloBucketSeconds = 10
+
+var sloWindows = []sloWindow{
+	{"5m", 5 * 60 / sloBucketSeconds},
+	{"30m", 30 * 60 / sloBucketSeconds},
+	{"1h", 3600 / sloBucketSeconds},
+	{"6h", 6 * 3600 / sloBucketSeconds},
+}
+
+// SLOConfig declares the two objectives. The zero value means 99.9%
+// availability and 99% of requests under 500ms.
+type SLOConfig struct {
+	// Disabled turns SLO tracking off entirely.
+	Disabled bool
+	// AvailabilityTarget is the success-fraction objective (0 = 0.999).
+	AvailabilityTarget float64
+	// LatencyTarget is the fraction of requests that must finish under
+	// LatencyThreshold (0 = 0.99).
+	LatencyTarget float64
+	// LatencyThreshold is the latency objective bound (0 = 500ms).
+	LatencyThreshold time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.AvailabilityTarget == 0 {
+		c.AvailabilityTarget = 0.999
+	}
+	if c.LatencyTarget == 0 {
+		c.LatencyTarget = 0.99
+	}
+	if c.LatencyThreshold == 0 {
+		c.LatencyThreshold = 500 * time.Millisecond
+	}
+	return c
+}
+
+type sloBucket struct {
+	epoch int64 // bucket timestamp (unix seconds / bucketSeconds)
+	total uint64
+	errs  uint64
+	slow  uint64
+}
+
+// SLOTracker maintains the rolling counts. A nil tracker is inert.
+type SLOTracker struct {
+	cfg  SLOConfig
+	now  func() time.Time // test hook
+	mu   sync.Mutex
+	ring []sloBucket
+}
+
+// NewSLOTracker builds a tracker (nil when cfg.Disabled).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	if cfg.Disabled {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	size := sloWindows[len(sloWindows)-1].buckets
+	return &SLOTracker{cfg: cfg, now: time.Now, ring: make([]sloBucket, size)}
+}
+
+// Observe records one finished request. Safe on nil.
+func (t *SLOTracker) Observe(status int, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	bad := status >= 500
+	slow := dur >= t.cfg.LatencyThreshold
+	epoch := t.now().Unix() / sloBucketSeconds
+	t.mu.Lock()
+	b := &t.ring[epoch%int64(len(t.ring))]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	b.total++
+	if bad {
+		b.errs++
+	}
+	if slow {
+		b.slow++
+	}
+	t.mu.Unlock()
+}
+
+// SLOWindowStatus is one window's burn rates.
+type SLOWindowStatus struct {
+	Window           string  `json:"window"`
+	Requests         uint64  `json:"requests"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+}
+
+// SLOStatus is the /health slo block.
+type SLOStatus struct {
+	AvailabilityTarget      float64 `json:"availability_target"`
+	LatencyTarget           float64 `json:"latency_target"`
+	LatencyThresholdSeconds float64 `json:"latency_threshold_seconds"`
+	// Status is "ok", "warn" (slow burn: >6x over both 6h and 30m) or
+	// "page" (fast burn: >14.4x over both 1h and 5m), on either
+	// objective.
+	Status  string            `json:"status"`
+	Windows []SLOWindowStatus `json:"windows"`
+}
+
+// Status computes burn rates over every window plus the multi-window
+// alert state. Safe on nil (returns a zero status with empty windows).
+func (t *SLOTracker) Status() SLOStatus {
+	st := SLOStatus{Status: "ok", Windows: []SLOWindowStatus{}}
+	if t == nil {
+		return st
+	}
+	st.AvailabilityTarget = t.cfg.AvailabilityTarget
+	st.LatencyTarget = t.cfg.LatencyTarget
+	st.LatencyThresholdSeconds = t.cfg.LatencyThreshold.Seconds()
+
+	epoch := t.now().Unix() / sloBucketSeconds
+	burns := make(map[string]SLOWindowStatus, len(sloWindows))
+	t.mu.Lock()
+	for _, w := range sloWindows {
+		var total, errs, slow uint64
+		for _, b := range t.ring {
+			if b.epoch > epoch-w.buckets && b.epoch <= epoch {
+				total += b.total
+				errs += b.errs
+				slow += b.slow
+			}
+		}
+		ws := SLOWindowStatus{Window: w.label, Requests: total}
+		if total > 0 {
+			ws.AvailabilityBurn = (float64(errs) / float64(total)) / (1 - t.cfg.AvailabilityTarget)
+			ws.LatencyBurn = (float64(slow) / float64(total)) / (1 - t.cfg.LatencyTarget)
+		}
+		st.Windows = append(st.Windows, ws)
+		burns[w.label] = ws
+	}
+	t.mu.Unlock()
+
+	page := func(short, long SLOWindowStatus) bool {
+		return (short.AvailabilityBurn > 14.4 && long.AvailabilityBurn > 14.4) ||
+			(short.LatencyBurn > 14.4 && long.LatencyBurn > 14.4)
+	}
+	warn := func(short, long SLOWindowStatus) bool {
+		return (short.AvailabilityBurn > 6 && long.AvailabilityBurn > 6) ||
+			(short.LatencyBurn > 6 && long.LatencyBurn > 6)
+	}
+	switch {
+	case page(burns["5m"], burns["1h"]):
+		st.Status = "page"
+	case warn(burns["30m"], burns["6h"]):
+		st.Status = "warn"
+	}
+	return st
+}
+
+// Register exposes the objectives and burn rates as trout_slo_* gauges.
+func (t *SLOTracker) Register(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	r.GaugeFunc("trout_slo_availability_target",
+		"Configured availability objective (success fraction).",
+		func() float64 { return t.cfg.AvailabilityTarget })
+	r.GaugeFunc("trout_slo_latency_target",
+		"Configured latency objective (fraction under threshold).",
+		func() float64 { return t.cfg.LatencyTarget })
+	r.GaugeFunc("trout_slo_latency_threshold_seconds",
+		"Latency objective threshold.",
+		func() float64 { return t.cfg.LatencyThreshold.Seconds() })
+	r.GaugeVecFunc("trout_slo_availability_burn_rate",
+		"Availability error-budget burn rate per rolling window (1.0 = exactly on budget).",
+		[]string{"window"}, func(emit Emit) {
+			for _, w := range t.Status().Windows {
+				emit(w.AvailabilityBurn, w.Window)
+			}
+		})
+	r.GaugeVecFunc("trout_slo_latency_burn_rate",
+		"Latency error-budget burn rate per rolling window (1.0 = exactly on budget).",
+		[]string{"window"}, func(emit Emit) {
+			for _, w := range t.Status().Windows {
+				emit(w.LatencyBurn, w.Window)
+			}
+		})
+	r.GaugeFunc("trout_slo_alert_state",
+		"Multi-window burn alert state: 0 ok, 1 warn, 2 page.",
+		func() float64 {
+			switch t.Status().Status {
+			case "page":
+				return 2
+			case "warn":
+				return 1
+			}
+			return 0
+		})
+}

@@ -90,16 +90,26 @@ type Span struct {
 type Spans struct {
 	mu sync.Mutex
 	s  []Span
+	// Optional hierarchical-trace attachment (AttachTree): when set,
+	// every Observe also records a tree span under `parent`.
+	tb     *TraceBuf
+	parent uint64
 }
 
-// Observe appends one stage timing. Safe on a nil receiver.
+// Observe appends one stage timing. Safe on a nil receiver. With a
+// trace tree attached, the stage additionally materializes as a child
+// span reconstructed as [now-seconds, now].
 func (sp *Spans) Observe(stage string, seconds float64) {
 	if sp == nil {
 		return
 	}
 	sp.mu.Lock()
 	sp.s = append(sp.s, Span{Stage: stage, Seconds: seconds})
+	tb, parent := sp.tb, sp.parent
 	sp.mu.Unlock()
+	if tb != nil {
+		tb.observed(parent, stage, seconds)
+	}
 }
 
 // Time starts a stage timer; the returned func stops it and records the

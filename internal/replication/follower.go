@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/livestate"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -42,6 +43,10 @@ type FollowerConfig struct {
 	StaleAfter time.Duration
 	// Logger for replication lifecycle events. Nil discards.
 	Logger *slog.Logger
+	// Tracer, when set, records each full resnapshot as a root trace
+	// (resnapshots are rare, expensive, and worth a flight-record). Nil
+	// disables.
+	Tracer *obs.Tracer
 }
 
 // FollowerStats is a point-in-time view of the pull loop, consumed by the
@@ -287,7 +292,9 @@ func (f *Follower) applyStream(r io.Reader) error {
 }
 
 // resnapshot pulls the full engine state and replaces the local replica.
-func (f *Follower) resnapshot(ctx context.Context) error {
+func (f *Follower) resnapshot(ctx context.Context) (err error) {
+	tb, root := f.cfg.Tracer.StartRoot("resnapshot")
+	defer func() { f.cfg.Tracer.FinishRoot(tb, root, err) }()
 	rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
@@ -312,6 +319,9 @@ func (f *Follower) resnapshot(ctx context.Context) error {
 	}
 	leaderLSN, _ := strconv.ParseUint(resp.Header.Get(HeaderLeaderLSN), 10, 64)
 	gen := f.cfg.Store.Gen()
+
+	root.SetAttrInt("lsn", int64(lsn))
+	root.SetAttrInt("gen", int64(gen))
 
 	f.mu.Lock()
 	f.resnapshots++

@@ -444,6 +444,13 @@ func TestMetricsExposition(t *testing.T) {
 		"trout_online_calibration_drift":       "gauge",
 		"trout_train_loss":                     "gauge",
 		"trout_train_epochs_total":             "counter",
+		"trout_trace_started_total":            "counter",
+		"trout_trace_kept_total":               "counter",
+		"trout_slo_availability_burn_rate":     "gauge",
+		"trout_slo_latency_burn_rate":          "gauge",
+		"trout_slo_alert_state":                "gauge",
+		"trout_runtime_goroutines":             "gauge",
+		"trout_runtime_heap_bytes":             "gauge",
 	} {
 		if got := seen[name]; got != typ {
 			t.Fatalf("family %s: type %q, want %q", name, got, typ)

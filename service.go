@@ -93,6 +93,20 @@ type ServiceConfig struct {
 	// CoalesceMax flushes a micro-batch early once it holds this many
 	// requests. 0 means 32.
 	CoalesceMax int
+	// Tracer, when set, is a prebuilt hierarchical tracer shared with
+	// other subsystems (the daemon builds one and hands it to the WAL
+	// store and the service alike). Nil builds one from Tracing.
+	Tracer *obs.Tracer
+	// Tracing configures the tracer built when Tracer is nil. The zero
+	// value is a live tracer with defaults (1% head sampling, 250ms slow
+	// threshold, flight recorder on, no file export); set
+	// Tracing.Disabled to opt out entirely.
+	Tracing obs.TracerConfig
+	// SLO declares the availability/latency objectives behind the
+	// trout_slo_* burn-rate gauges and the /health slo block. The zero
+	// value tracks 99.9% availability and 99% of requests under 500ms;
+	// set SLO.Disabled to opt out.
+	SLO obs.SLOConfig
 }
 
 func (c *ServiceConfig) defaults() {
@@ -159,6 +173,12 @@ type Service struct {
 	logger *slog.Logger
 	live   *livestate.Store
 	ready  atomic.Bool
+
+	// tracer/slo are the hierarchical-tracing and SLO-objective sinks;
+	// both are nil-safe throughout, so disabled configurations cost one
+	// nil check per call site.
+	tracer *obs.Tracer
+	slo    *obs.SLOTracker
 
 	// Runtime telemetry: every family lives in one obs.Registry and is
 	// rendered by GET /metrics.
@@ -233,6 +253,15 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		logger: cfg.Logger,
 		live:   cfg.Live,
 	}
+	s.tracer = cfg.Tracer
+	if s.tracer == nil {
+		tr, err := obs.NewTracer(cfg.Tracing)
+		if err != nil {
+			return nil, fmt.Errorf("trout: tracer setup: %w", err)
+		}
+		s.tracer = tr
+	}
+	s.slo = obs.NewSLOTracker(cfg.SLO)
 	s.state.Store(initial)
 	s.applyFastInference(b)
 	s.serving.Store(&servingBundle{b: b})
@@ -243,6 +272,9 @@ func NewServiceWith(b *Bundle, initial *Trace, cfg ServiceConfig) (*Service, err
 		fc.Store = s.live
 		if fc.Logger == nil {
 			fc.Logger = cfg.Logger
+		}
+		if fc.Tracer == nil {
+			fc.Tracer = s.tracer
 		}
 		f, err := replication.NewFollower(fc)
 		if err != nil {
@@ -456,8 +488,19 @@ func (s *Service) initTelemetry() {
 			func() float64 { return float64(s.follower.Stats().Resnapshots) })
 	}
 
+	// Hierarchical tracing activity, SLO burn rates, and runtime
+	// self-telemetry. All three register fixed series sets, so the
+	// exposition stays deterministic scrape-to-scrape.
+	s.tracer.Register(r)
+	s.slo.Register(r)
+	obs.RegisterRuntime(r)
+
 	s.telemetry = obs.NewTrainTelemetry(r, s.logger)
 }
+
+// Tracer exposes the service's hierarchical tracer (nil when tracing is
+// disabled — every method on it is nil-safe).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // Registry exposes the service's metric registry (for the daemon to add
 // process-level families).
@@ -516,6 +559,7 @@ var metricRoutes = map[string]bool{
 	"/state": true, "/events": true, "/features": true, "/metrics": true,
 	"/replication/wal": true, "/replication/snapshot": true, "/replication/status": true,
 	"/admin/retrain": true, "/admin/models": true, "/admin/swap": true,
+	"/debug/requests": true,
 }
 
 // Handler returns the service's HTTP routes wrapped in the middleware
@@ -541,6 +585,7 @@ func (s *Service) Handler() http.Handler {
 	}
 	mux.HandleFunc("/features", s.handleFeatures)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	// Model-lifecycle admin surface. Registered unconditionally so the
 	// endpoints are discoverable; without an attached control plane the
 	// registry-backed ones answer 503.
@@ -573,6 +618,8 @@ func (s *Service) Handler() http.Handler {
 		Requests:     s.httpReqs,
 		Latency:      s.httpLatency,
 		StageLatency: s.stageLatency,
+		Tracer:       s.tracer,
+		SLO:          s.slo,
 		PathFor: func(r *http.Request) string {
 			if metricRoutes[r.URL.Path] {
 				return r.URL.Path
@@ -602,6 +649,9 @@ type healthResponse struct {
 	Live liveHealth `json:"live"`
 	// Replication reports this node's role and, for followers, lag.
 	Replication replicationHealth `json:"replication"`
+	// SLO reports the rolling error-budget burn rates and the
+	// multi-window alert state (omitted when SLO tracking is disabled).
+	SLO *obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // modelHealth is the /health model-identity section.
@@ -674,6 +724,11 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		cs := ctl.Status()
 		cpStatus = &cs
 	}
+	var sloStatus *obs.SLOStatus
+	if s.slo != nil {
+		ss := s.slo.Status()
+		sloStatus = &ss
+	}
 	s.writeJSON(w, r, http.StatusOK, healthResponse{
 		Status:        status,
 		CutoffMinutes: sb.b.Model.Cfg.CutoffMinutes,
@@ -693,7 +748,26 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Tracked: st.Tracked, Sources: s.sources.Snapshot(),
 		},
 		Replication: rep,
+		SLO:         sloStatus,
 	})
+}
+
+// handleDebugRequests serves the flight recorder: the N slowest and the
+// N most recent errored requests, full span trees included, so a trace
+// ID from a log line or the loadgen scorecard can be inspected without
+// any external tracing backend.
+func (s *Service) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		resilience.WriteError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if !s.tracer.Enabled() {
+		resilience.WriteError(w, http.StatusNotImplemented, "tracing disabled")
+		return
+	}
+	snap := s.tracer.Recorder().Snapshot()
+	snap.SlowThresholdMs = float64(s.tracer.SlowThreshold()) / 1e6
+	s.writeJSON(w, r, http.StatusOK, snap)
 }
 
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -927,7 +1001,21 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var pred TieredPrediction
 	var err error
 	if s.coal != nil {
+		// The flush runs on another goroutine under its own trace; the
+		// member wraps the wait in a "coalesce" span linked to the shared
+		// flush span, and copies the flush's stage timings into its own
+		// recorder so coalesced requests still feed the batch_nn/fallback
+		// histograms and show the pipeline stages in their span tree.
+		csp := obs.StartSpan(r.Context(), "coalesce")
 		rep := s.coal.do(snap)
+		for _, st := range rep.stages {
+			sp.Observe(st.Stage, st.Seconds)
+		}
+		if rep.flushTrace != "" {
+			csp.Link(rep.flushTrace, rep.flushSpan)
+			csp.SetAttr("flush_trace", rep.flushTrace)
+		}
+		csp.End()
 		sb, pred, err = rep.sb, rep.res.TieredPrediction, rep.res.Err
 	} else {
 		sb = s.serving.Load()

@@ -20,6 +20,7 @@ import (
 	trout "repro"
 	"repro/internal/livestate"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/resilience"
 )
@@ -363,4 +364,80 @@ func TestFaultWindowResponsesAreValid(t *testing.T) {
 
 func jsonDecode(r io.Reader, out any) error {
 	return json.NewDecoder(r).Decode(out)
+}
+
+// TestWriteProxyTraceContinuity pins the cross-node trace contract for
+// follower write forwarding: one X-Request-ID must survive both forwarding
+// modes — the 307 redirect (the client re-sends the request, headers
+// included, to the leader) and the transparent reverse proxy (the follower
+// forwards the inbound headers itself) — so the leader's and follower's
+// access logs tell one story about one write.
+func TestWriteProxyTraceContinuity(t *testing.T) {
+	const traceID = "feedfacecafef00d"
+	eventsBody := `{"type":"submit","time":3000,"job":{"id":777001,"user":1,"partition":"shared","submit":3000,"req_cpus":1,"time_limit":600}}` + "\n"
+
+	for _, proxy := range []bool{false, true} {
+		name := "redirect307"
+		if proxy {
+			name = "reverseproxy"
+		}
+		t.Run(name, func(t *testing.T) {
+			var lsb, fsb syncBuf
+			llog, err := obs.NewLogger(&lsb, "info", "json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lsrv, _, e := leaderService(t, trout.ServiceConfig{Logger: llog})
+
+			flog, err := obs.NewLogger(&fsb, "info", "json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsvc, err := trout.NewServiceWith(resilientBundle(t), e.Trace, trout.ServiceConfig{
+				LeaderURL:   lsrv.URL,
+				ProxyWrites: proxy,
+				Logger:      flog,
+				Replication: replication.FollowerConfig{
+					Retry: replTestRetry, PollWait: 100 * time.Millisecond,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsrv := httptest.NewServer(fsvc.Handler())
+			t.Cleanup(fsrv.Close)
+
+			req, err := http.NewRequest(http.MethodPost, fsrv.URL+"/events", strings.NewReader(eventsBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/x-ndjson")
+			req.Header.Set(obs.TraceIDHeader, traceID)
+			// The default client follows the 307 (re-sending method, body,
+			// and headers); on the proxy path there is nothing to follow.
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("forwarded write = %d, want 200", resp.StatusCode)
+			}
+			if got := resp.Header.Get(obs.TraceIDHeader); got != traceID {
+				t.Fatalf("final response echoes trace ID %q, want %q", got, traceID)
+			}
+
+			// Both hops logged the write under the SAME trace ID.
+			for side, sb := range map[string]*syncBuf{"leader": &lsb, "follower": &fsb} {
+				entry := accessLogs(t, sb, 1)[0]
+				if entry["trace_id"] != traceID {
+					t.Fatalf("%s access log trace_id = %v, want %q", side, entry["trace_id"], traceID)
+				}
+				if entry["path"] != "/events" || entry["method"] != "POST" {
+					t.Fatalf("%s logged %v %v, want POST /events", side, entry["method"], entry["path"])
+				}
+			}
+		})
+	}
 }

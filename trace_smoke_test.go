@@ -1,0 +1,292 @@
+// Trace smoke (make trace-smoke, part of make ci): run the serving stack
+// with tracing fully on (head sampling 1.0, coalescing enabled) and
+// validate every line the JSONL exporter wrote — IDs well-formed, parent
+// references resolving within the line, children nested inside their
+// parents' intervals, links structurally sound. Plus the acceptance pin:
+// a slow (over-threshold) request exports one trace whose tree runs
+// middleware → snapshot → coalesce (with a link to the shared flush) →
+// batch stage spans, and the same trace ID is retrievable from
+// GET /debug/requests.
+package trout_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	trout "repro"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+var hex16 = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// readTraceFile decodes every JSONL line of a trace export file.
+func readTraceFile(t *testing.T, path string) []obs.TraceJSON {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace export: %v", err)
+	}
+	defer f.Close()
+	var out []obs.TraceJSON
+	scan := bufio.NewScanner(f)
+	scan.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scan.Scan() {
+		var line obs.TraceJSON
+		if err := json.Unmarshal(scan.Bytes(), &line); err != nil {
+			t.Fatalf("non-JSON trace line %q: %v", scan.Text(), err)
+		}
+		out = append(out, line)
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// validateTraceLine enforces the export schema on one trace: well-formed
+// IDs, in-line parent resolution, interval nesting, sound links.
+func validateTraceLine(t *testing.T, line obs.TraceJSON) {
+	t.Helper()
+	if !hex16.MatchString(line.TraceID) {
+		t.Fatalf("trace ID %q not 16-hex", line.TraceID)
+	}
+	if len(line.Spans) == 0 {
+		t.Fatalf("trace %s exported with no spans", line.TraceID)
+	}
+	if line.DurationMs < 0 {
+		t.Fatalf("trace %s duration %f < 0", line.TraceID, line.DurationMs)
+	}
+	byID := map[string]obs.SpanJSON{}
+	for _, s := range line.Spans {
+		if !hex16.MatchString(s.SpanID) {
+			t.Fatalf("trace %s: span ID %q not 16-hex", line.TraceID, s.SpanID)
+		}
+		if _, dup := byID[s.SpanID]; dup {
+			t.Fatalf("trace %s: duplicate span ID %s", line.TraceID, s.SpanID)
+		}
+		byID[s.SpanID] = s
+	}
+	roots := 0
+	for _, s := range line.Spans {
+		if s.Name == "" {
+			t.Fatalf("trace %s: span %s unnamed", line.TraceID, s.SpanID)
+		}
+		if s.EndUnixNs < s.StartUnixNs {
+			t.Fatalf("trace %s: span %s ends before it starts", line.TraceID, s.SpanID)
+		}
+		if s.ParentID == "" {
+			roots++
+			if s.Name != line.Root {
+				t.Fatalf("trace %s: root span %q != line root %q", line.TraceID, s.Name, line.Root)
+			}
+		} else {
+			p, ok := byID[s.ParentID]
+			if !ok {
+				t.Fatalf("trace %s: span %s parent %s not in line", line.TraceID, s.SpanID, s.ParentID)
+			}
+			if s.StartUnixNs < p.StartUnixNs || s.EndUnixNs > p.EndUnixNs {
+				t.Fatalf("trace %s: span %s [%d,%d] escapes parent %s [%d,%d]",
+					line.TraceID, s.SpanID, s.StartUnixNs, s.EndUnixNs,
+					s.ParentID, p.StartUnixNs, p.EndUnixNs)
+			}
+		}
+		if s.Link != nil {
+			if s.Link.TraceID == "" || !hex16.MatchString(s.Link.SpanID) {
+				t.Fatalf("trace %s: span %s malformed link %+v", line.TraceID, s.SpanID, *s.Link)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace %s: %d parentless spans, want exactly 1", line.TraceID, roots)
+	}
+}
+
+// TestTraceSmoke floods the coalescing serving stack with everything-
+// sampled tracing and schema-checks the entire export file.
+func TestTraceSmoke(t *testing.T) {
+	e := sharedExperiment(t)
+	bundle := resilientBundle(t)
+	t.Cleanup(bundle.DisableFastInference)
+	file := filepath.Join(t.TempDir(), "traces.jsonl")
+	svc, err := trout.NewServiceWith(bundle, e.Trace, trout.ServiceConfig{
+		FastInference: true,
+		Coalesce:      true,
+		Tracing:       obs.TracerConfig{SampleRate: 1, Path: file, QueueLen: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sc, err := loadgen.Run(ctx, loadgen.Config{
+		Handler:     svc.Handler(),
+		Requests:    600,
+		Concurrency: 8,
+		Validate:    loadgen.StrictValidate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ErrorRate != 0 {
+		t.Fatalf("error rate %.4f with tracing on: %v", sc.ErrorRate, sc.InvalidSamples)
+	}
+	svc.Tracer().Flush()
+
+	lines := readTraceFile(t, file)
+	// Head sampling at 1.0 keeps every request; 600 requests plus flush
+	// traces must all be here.
+	if len(lines) < 600 {
+		t.Fatalf("exported %d traces, want >= 600", len(lines))
+	}
+	var sawCoalesceLink, sawFlushRoot bool
+	for _, line := range lines {
+		validateTraceLine(t, line)
+		if line.Root == "coalesce_flush" {
+			sawFlushRoot = true
+		}
+		for _, s := range line.Spans {
+			if s.Name == "coalesce" && s.Link != nil {
+				sawCoalesceLink = true
+			}
+		}
+	}
+	if !sawFlushRoot {
+		t.Fatal("no coalesce_flush root trace exported")
+	}
+	if !sawCoalesceLink {
+		t.Fatal("no request trace carries a coalesce span linking to its flush")
+	}
+	if st := svc.Tracer().Stats(); st.ExportDropped > 0 {
+		t.Logf("note: %d traces dropped at the export queue", st.ExportDropped)
+	}
+}
+
+// TestTraceSlowRequestRecorded is the acceptance pin: with the slow
+// threshold floored, a /predict request is tail-kept as slow, its
+// exported tree runs middleware root → snapshot → coalesce (linked to
+// the shared flush, whose own trace carries the batch stages), and the
+// identical trace ID is retrievable from GET /debug/requests.
+func TestTraceSlowRequestRecorded(t *testing.T) {
+	const traceID = "cafe0123deadbeef"
+	e := sharedExperiment(t)
+	bundle := resilientBundle(t)
+	t.Cleanup(bundle.DisableFastInference)
+	file := filepath.Join(t.TempDir(), "traces.jsonl")
+	svc, err := trout.NewServiceWith(bundle, e.Trace, trout.ServiceConfig{
+		FastInference: true,
+		Coalesce:      true,
+		Tracing: obs.TracerConfig{
+			SampleRate:    -1, // head sampling off: only the slow rule can export
+			SlowThreshold: time.Nanosecond,
+			Path:          file,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	at := e.Trace.Jobs[len(e.Trace.Jobs)-1].End + 100
+	body := strings.NewReader(
+		`{"at":` + jsonInt(at) + `,"job":{"user":3,"partition":"shared","req_cpus":8,"req_mem_gb":16,"req_nodes":1,"time_limit":7200,"priority":3000}}`)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/predict", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceIDHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d", resp.StatusCode)
+	}
+	svc.Tracer().Flush()
+
+	lines := readTraceFile(t, file)
+	var mine *obs.TraceJSON
+	flushRoots := map[string]bool{}
+	for i := range lines {
+		validateTraceLine(t, lines[i])
+		if lines[i].TraceID == traceID {
+			mine = &lines[i]
+		}
+		if lines[i].Root == "coalesce_flush" {
+			flushRoots[lines[i].TraceID] = true
+		}
+	}
+	if mine == nil {
+		t.Fatalf("slow request trace %s not exported; file has %d traces", traceID, len(lines))
+	}
+	names := map[string]obs.SpanJSON{}
+	for _, s := range mine.Spans {
+		names[s.Name] = s
+	}
+	if _, ok := names["POST /predict"]; !ok {
+		t.Fatalf("no middleware root span: %v", spanNames(mine.Spans))
+	}
+	if _, ok := names["snapshot"]; !ok {
+		t.Fatalf("no snapshot stage span: %v", spanNames(mine.Spans))
+	}
+	co, ok := names["coalesce"]
+	if !ok || co.Link == nil {
+		t.Fatalf("no coalesce span with a flush link: %v", spanNames(mine.Spans))
+	}
+	if !flushRoots[co.Link.TraceID] {
+		t.Fatalf("coalesce links to flush trace %s, which was not exported", co.Link.TraceID)
+	}
+	if _, nn := names["batch_nn"]; !nn {
+		if _, fb := names["fallback"]; !fb {
+			t.Fatalf("neither batch_nn nor fallback stage span present: %v", spanNames(mine.Spans))
+		}
+	}
+
+	// The same trace ID must be sitting in the flight recorder.
+	dresp, err := http.Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests = %d", dresp.StatusCode)
+	}
+	var dbg obs.DebugRequests
+	if err := json.NewDecoder(dresp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range dbg.Slowest {
+		if rec.TraceID == traceID {
+			if len(rec.Spans) == 0 {
+				t.Fatal("recorded trace has no spans")
+			}
+			return
+		}
+	}
+	t.Fatalf("trace %s not in /debug/requests slowest ring (%d entries)", traceID, len(dbg.Slowest))
+}
+
+func spanNames(spans []obs.SpanJSON) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func jsonInt(v int64) string {
+	return strconv.FormatInt(v, 10)
+}
